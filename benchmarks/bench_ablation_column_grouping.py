@@ -1,0 +1,83 @@
+"""Ablation: the Fig. 13 column-grouping on (simulated) HDFS.
+
+The paper found one-file-per-column layouts dominated by DFS connection
+setup when MGS inflates tables to thousands of columns; grouping columns
+into few large files amortizes it.  This ablation stores the same wide
+table at several group sizes and compares estimated worker load times plus
+actual connection counts.
+"""
+
+import numpy as np
+
+from repro.cluster import CostModel
+from repro.data.schema import ColumnKind, ColumnSpec, ProblemKind, TableSchema
+from repro.data.table import DataTable
+from repro.hdfs import LayoutConfig, SimHdfs, TableLayout
+from repro.evaluation.tables import format_table
+
+from conftest import save_result
+
+N_COLUMNS = 600  # MGS-scale width
+N_ROWS = 2_000
+GROUP_SIZES = [1, 10, 50, 200]
+
+
+def _wide_table() -> DataTable:
+    rng = np.random.default_rng(0)
+    schema = TableSchema(
+        tuple(ColumnSpec(f"f{i}", ColumnKind.NUMERIC) for i in range(N_COLUMNS)),
+        ColumnSpec("label", ColumnKind.CATEGORICAL, ("a", "b")),
+        ProblemKind.CLASSIFICATION,
+    )
+    return DataTable(
+        schema,
+        [rng.normal(size=N_ROWS) for _ in range(N_COLUMNS)],
+        rng.integers(0, 2, size=N_ROWS).astype(np.int32),
+    )
+
+
+def test_ablation_column_grouping(run_once):
+    cost = CostModel()
+    results = {}
+
+    def experiment():
+        table = _wide_table()
+        for group in GROUP_SIZES:
+            fs = SimHdfs()
+            layout = TableLayout(
+                fs,
+                f"/data/g{group}",
+                LayoutConfig(columns_per_group=group, rows_per_group=1024),
+            )
+            layout.save(table)
+            fs.reset_stats()
+            layout.load_column_group(0)
+            connections = fs.stats.connections_opened
+            load_seconds = layout.estimated_load_seconds(
+                cost.hdfs_connection_seconds,
+                cost.bandwidth_bytes_per_second,
+            )
+            n_files = len(fs.listdir(f"/data/g{group}"))
+            results[group] = (n_files, connections, load_seconds)
+
+    run_once(experiment)
+
+    rows = [
+        [str(g), str(results[g][0]), str(results[g][1]), f"{results[g][2]:.3f}"]
+        for g in GROUP_SIZES
+    ]
+    save_result(
+        "ablation_column_grouping",
+        format_table(
+            f"Ablation — Fig.13 column grouping ({N_COLUMNS} cols x {N_ROWS} rows)",
+            ["cols/group", "#files", "conns per group-load", "full load est(s)"],
+            rows,
+        ),
+    )
+
+    times = [results[g][2] for g in GROUP_SIZES]
+    # Strictly fewer connections and monotonically faster loads as groups
+    # grow; one-file-per-column is many times slower than 50-col groups.
+    for a, b in zip(times, times[1:]):
+        assert b < a
+    assert times[0] / times[GROUP_SIZES.index(50)] > 3.0

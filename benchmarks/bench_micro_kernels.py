@@ -1,0 +1,102 @@
+"""Microbenchmarks of the training kernels (real wall-clock, not simulated).
+
+Unlike the table benchmarks, these measure the actual Python/NumPy speed of
+the hot kernels — exact split search (the column-task inner loop), binned
+split search (the MLlib baseline's), the weighted quantile sketch, and
+whole-tree building — so kernel regressions are caught directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import WeightedQuantileSketch
+from repro.baselines.histogram import (
+    best_binned_numeric_split,
+    bin_indices,
+    equi_depth_thresholds,
+)
+from repro.core import TreeConfig, train_tree
+from repro.core.impurity import Impurity
+from repro.core.splits import (
+    best_categorical_classification_split,
+    best_categorical_regression_split,
+    best_numeric_split,
+)
+from repro.datasets import SyntheticSpec, generate
+
+N_ROWS = 50_000
+
+
+@pytest.fixture(scope="module")
+def numeric_data():
+    rng = np.random.default_rng(0)
+    values = rng.lognormal(size=N_ROWS)
+    labels = (values > np.quantile(values, 0.7)).astype(np.int64)
+    flip = rng.random(N_ROWS) < 0.1
+    labels[flip] = 1 - labels[flip]
+    return values, labels
+
+
+def test_exact_numeric_split_kernel(benchmark, numeric_data):
+    values, labels = numeric_data
+    split = benchmark(
+        best_numeric_split, 0, values, labels, Impurity.GINI, 2
+    )
+    assert split is not None
+
+
+def test_binned_numeric_split_kernel(benchmark, numeric_data):
+    values, labels = numeric_data
+    thresholds = equi_depth_thresholds(values, 32)
+    bins = bin_indices(values, thresholds)
+    split = benchmark(
+        best_binned_numeric_split,
+        0, bins, thresholds, labels, Impurity.GINI, 2,
+    )
+    assert split is not None
+
+
+def test_categorical_classification_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    codes = rng.integers(0, 12, size=N_ROWS).astype(np.int32)
+    labels = ((codes == 3) | (codes == 7)).astype(np.int64)
+    split = benchmark(
+        best_categorical_classification_split,
+        0, codes, labels, 12, Impurity.GINI, 2,
+    )
+    assert split is not None
+
+
+def test_categorical_regression_kernel(benchmark):
+    rng = np.random.default_rng(2)
+    codes = rng.integers(0, 12, size=N_ROWS).astype(np.int32)
+    y = codes * 0.5 + rng.normal(0, 0.2, size=N_ROWS)
+    split = benchmark(
+        best_categorical_regression_split, 0, codes, y, 12
+    )
+    assert split is not None
+
+
+def test_quantile_sketch_kernel(benchmark, numeric_data):
+    values, _ = numeric_data
+    weights = np.ones_like(values)
+
+    def build():
+        return WeightedQuantileSketch.from_arrays(values, weights).prune(128)
+
+    sketch = benchmark(build)
+    assert sketch.size <= 128
+
+
+def test_whole_tree_build_kernel(benchmark):
+    table = generate(
+        SyntheticSpec(
+            name="kernel", n_rows=8_000, n_numeric=10, n_categorical=0,
+            n_classes=2, planted_depth=6, noise=0.1, seed=4,
+        )
+    )
+    tree = benchmark.pedantic(
+        train_tree, args=(table, TreeConfig(max_depth=8)),
+        rounds=3, iterations=1,
+    )
+    assert tree.n_nodes > 10

@@ -1,0 +1,70 @@
+"""Table II(c): TreeServer 100-tree forest vs XGBoost 100 boosted trees.
+
+Paper shape: XGBoost wins accuracy on roughly half the datasets (second-
+order boosting), but is many times slower — boosted trees are sequentially
+dependent while TreeServer trains its forest's trees together.  Run at
+small-dataset scale so 100 real boosting rounds stay tractable in Python.
+"""
+
+from repro.baselines import XGBoostConfig
+from repro.core import TreeConfig
+from repro.evaluation import (
+    ComparisonTable,
+    load_dataset,
+    run_treeserver,
+    run_xgboost,
+)
+
+from conftest import save_result
+
+DATASETS = ["allstate", "higgs_boson", "susy", "loan_m1"]
+N_TREES = 100
+
+
+def test_table2c_vs_xgboost(run_once):
+    table = ComparisonTable(
+        "Table II(c) — TreeServer RF(100) vs XGBoost(100 rounds)",
+        ["TreeServer", "XGBoost"],
+    )
+
+    def experiment():
+        for dataset in DATASETS:
+            train, test = load_dataset(dataset, small=True)
+            table.add(
+                run_treeserver(
+                    dataset, train, test, TreeConfig(max_depth=10),
+                    n_trees=N_TREES, seed=2,
+                )
+            )
+            table.add(
+                run_xgboost(
+                    dataset, train, test,
+                    XGBoostConfig(n_rounds=N_TREES, max_depth=6),
+                )
+            )
+        return table
+
+    run_once(experiment)
+    save_result("table2c_vs_xgboost", table.render())
+
+    slowdowns = {
+        d: table.speedup(d, "TreeServer", "XGBoost") for d in DATASETS
+    }
+    save_result(
+        "table2c_slowdowns",
+        "\n".join(f"{d}: XGBoost {s:.1f}x slower" for d, s in slowdowns.items()),
+    )
+    # Boosting's sequential dependency: XGBoost is slower everywhere, and
+    # by a large factor somewhere (paper: up to ~56x).
+    assert all(s > 1.5 for s in slowdowns.values())
+    assert max(slowdowns.values()) >= 8.0
+    # Boosting's accuracy potential: XGBoost wins quality on >= 1 dataset.
+    xgb_wins = 0
+    for dataset in DATASETS:
+        ts = table.rows[dataset]["TreeServer"]
+        xgb = table.rows[dataset]["XGBoost"]
+        if ts.quality_metric == "rmse":
+            xgb_wins += xgb.quality < ts.quality
+        else:
+            xgb_wins += xgb.quality > ts.quality
+    assert xgb_wins >= 1

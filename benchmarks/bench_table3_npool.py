@@ -1,0 +1,91 @@
+"""Table III(a-c): effect of the tree pool size ``n_pool``.
+
+Paper shape: with a 20-tree forest, running time drops steeply from
+``n_pool = 1`` (trees trained one after another — no cross-tree task
+parallelism) to ``n_pool = 20``, with diminishing returns once the CPUs
+saturate; peak memory grows only mildly because data columns, not task
+state, dominate worker memory.
+"""
+
+from repro.core import SystemConfig, TreeConfig, TreeServer, random_forest_job
+from repro.evaluation import ExperimentRow, load_dataset, sweep_table
+from repro.evaluation.metrics import accuracy, rmse
+from repro.data.schema import ProblemKind
+
+from conftest import save_result
+
+DATASETS = ["allstate", "higgs_boson", "kdd99"]
+POOL_SIZES = [1, 5, 10, 20]
+N_TREES = 20
+
+
+def test_table3_npool(run_once):
+    all_rows: dict[str, list[tuple[int, ExperimentRow]]] = {}
+
+    def experiment():
+        for dataset in DATASETS:
+            train, test = load_dataset(dataset, small=True)
+            rows = []
+            for n_pool in POOL_SIZES:
+                system = SystemConfig(
+                    n_workers=8, compers_per_worker=4, n_pool=n_pool
+                ).scaled_to(train.n_rows)
+                job = random_forest_job(
+                    "rf", N_TREES, TreeConfig(max_depth=10), seed=3
+                )
+                report = TreeServer(system).fit(train, [job])
+                model = report.forest("rf")
+                if train.problem is ProblemKind.CLASSIFICATION:
+                    quality, metric = accuracy(
+                        test.target, model.predict(test)
+                    ), "accuracy"
+                else:
+                    quality, metric = rmse(
+                        test.target, model.predict(test)
+                    ), "rmse"
+                rows.append(
+                    (
+                        n_pool,
+                        ExperimentRow(
+                            system="TreeServer",
+                            dataset=dataset,
+                            sim_seconds=report.sim_seconds,
+                            quality=quality,
+                            quality_metric=metric,
+                            peak_memory_mb=report.cluster.avg_peak_memory_bytes
+                            / 1e6,
+                        ),
+                    )
+                )
+            all_rows[dataset] = rows
+
+    run_once(experiment)
+
+    rendered = []
+    for dataset in DATASETS:
+        rows = all_rows[dataset]
+        mem = [f"{row.peak_memory_mb:.3f}" for _, row in rows]
+        rendered.append(
+            sweep_table(
+                f"Table III — effect of n_pool on {dataset} (RF-{N_TREES})",
+                "n_pool",
+                rows,
+                extra_columns={"mem(MB)": mem},
+            )
+        )
+    save_result("table3_npool", "\n\n".join(rendered))
+
+    for dataset in DATASETS:
+        rows = all_rows[dataset]
+        times = [row.sim_seconds for _, row in rows]
+        mems = [row.peak_memory_mb for _, row in rows]
+        # Strong win from 1 -> 20 (paper: ~6x on Allstate).
+        assert times[0] / times[-1] > 2.0
+        # Monotone non-increasing trend (allow tiny wiggle).
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.10
+        # Memory grows only mildly with the pool.
+        assert mems[-1] <= mems[0] * 30 + 1.0
+        # The model itself is pool-invariant: quality identical.
+        qualities = {round(row.quality, 12) for _, row in rows}
+        assert len(qualities) == 1

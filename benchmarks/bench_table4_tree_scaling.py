@@ -1,0 +1,79 @@
+"""Table IV(a,b): running time vs number of trees, TreeServer vs MLlib.
+
+Paper shape: on both systems, time grows ~linearly with the tree count
+(CPUs saturated), TreeServer several times faster throughout, and accuracy
+essentially flat with more trees (bagging saturates).  The paper sweeps
+500..2000 trees on MS_LTRC and c14B; we sweep 50..200 on their small-scale
+stand-ins (same 1:2:3:4 ratio grid).
+"""
+
+from repro.core import TreeConfig
+from repro.evaluation import (
+    ExperimentRow,
+    load_dataset,
+    run_mllib,
+    run_treeserver,
+)
+from repro.evaluation.tables import format_table
+
+from conftest import save_result
+
+DATASETS = ["ms_ltrc", "c14b"]
+TREE_COUNTS = [50, 100, 150, 200]
+
+
+def test_table4_tree_scaling(run_once):
+    results: dict[str, dict[int, tuple[ExperimentRow, ExperimentRow]]] = {
+        d: {} for d in DATASETS
+    }
+
+    def experiment():
+        cfg = TreeConfig(max_depth=8)
+        for dataset in DATASETS:
+            train, test = load_dataset(dataset, small=True)
+            for n_trees in TREE_COUNTS:
+                ts = run_treeserver(
+                    dataset, train, test, cfg, n_trees=n_trees, seed=5
+                )
+                ml = run_mllib(
+                    dataset, train, test, cfg, n_trees=n_trees, seed=5
+                )
+                results[dataset][n_trees] = (ts, ml)
+
+    run_once(experiment)
+
+    for dataset in DATASETS:
+        rows = []
+        for n_trees in TREE_COUNTS:
+            ts, ml = results[dataset][n_trees]
+            rows.append(
+                [
+                    str(n_trees),
+                    f"{ts.sim_seconds:.2f}",
+                    ts.quality_str(),
+                    f"{ml.sim_seconds:.2f}",
+                    ml.quality_str(),
+                ]
+            )
+        save_result(
+            f"table4_trees_{dataset}",
+            format_table(
+                f"Table IV — time vs #trees on {dataset}",
+                ["#trees", "TreeServer t(s)", "TS quality",
+                 "MLlib t(s)", "MLlib quality"],
+                rows,
+            ),
+        )
+
+    for dataset in DATASETS:
+        ts_times = [results[dataset][n][0].sim_seconds for n in TREE_COUNTS]
+        ml_times = [results[dataset][n][1].sim_seconds for n in TREE_COUNTS]
+        # TreeServer faster at every tree count.
+        for ts_t, ml_t in zip(ts_times, ml_times):
+            assert ts_t < ml_t
+        # ~Linear growth: 4x the trees costs 2.5x-6x the time on both.
+        assert 2.2 < ts_times[-1] / ts_times[0] < 6.5
+        assert 2.2 < ml_times[-1] / ml_times[0] < 6.5
+        # Accuracy flat with more trees (bagging saturates).
+        accs = [results[dataset][n][0].quality for n in TREE_COUNTS]
+        assert max(accs) - min(accs) < 0.06

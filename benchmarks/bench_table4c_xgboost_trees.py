@@ -1,0 +1,53 @@
+"""Table IV(c): XGBoost accuracy and time vs number of boosted trees.
+
+Paper shape: boosting keeps improving accuracy as trees are added (unlike
+bagging, which saturates — Table IV(a,b)), but time grows linearly and is
+expensive, so "we cannot test too many trees".
+"""
+
+from repro.baselines import XGBoostConfig
+from repro.evaluation import ExperimentRow, load_dataset, run_xgboost, sweep_table
+
+from conftest import save_result
+
+DATASETS = ["higgs_boson", "kdd99"]
+ROUNDS = [10, 20, 40, 80, 100]
+
+
+def test_table4c_xgboost_trees(run_once):
+    results: dict[str, list[tuple[int, ExperimentRow]]] = {d: [] for d in DATASETS}
+
+    def experiment():
+        for dataset in DATASETS:
+            train, test = load_dataset(dataset, small=True)
+            for n_rounds in ROUNDS:
+                row = run_xgboost(
+                    dataset,
+                    train,
+                    test,
+                    XGBoostConfig(n_rounds=n_rounds, max_depth=4, eta=0.1),
+                )
+                results[dataset].append((n_rounds, row))
+
+    run_once(experiment)
+
+    for dataset in DATASETS:
+        save_result(
+            f"table4c_xgboost_{dataset}",
+            sweep_table(
+                f"Table IV(c) — XGBoost #trees sweep on {dataset}",
+                "#trees",
+                results[dataset],
+            ),
+        )
+
+    for dataset in DATASETS:
+        rows = results[dataset]
+        times = [r.sim_seconds for _, r in rows]
+        accs = [r.quality for _, r in rows]
+        # Time grows ~linearly with rounds (sequential dependency).
+        assert times[-1] / times[0] > 5.0
+        # Accuracy keeps improving with more trees (boosting's signature);
+        # the best accuracy is reached in the later half of the sweep.
+        assert accs[-1] > accs[0]
+        assert max(accs) in accs[2:]

@@ -1,0 +1,84 @@
+"""Table VII: deep forest on MNIST-like images — per-step time + accuracy.
+
+Paper shape: MGS forest training dominates the time (win3/5/7 train),
+extraction steps are cheap row-parallel jobs, each cascade layer trains
+quickly, and test accuracy is high from CF0 onward, improving over the
+first layers.  Forests here train as real TreeServer jobs on the simulated
+cluster, so the per-step seconds are simulated cluster time.
+"""
+
+from repro.core import SystemConfig
+from repro.datasets import train_test_images
+from repro.deepforest import (
+    CascadeConfig,
+    DeepForest,
+    MGSConfig,
+    TreeServerBackend,
+)
+from repro.evaluation.tables import format_table
+
+from conftest import save_result
+
+
+def test_table7_deep_forest(run_once):
+    holder = {}
+
+    def experiment():
+        train, test = train_test_images(300, 150, seed=11)
+        system = SystemConfig(n_workers=15, compers_per_worker=10)
+        model = DeepForest(
+            mgs_config=MGSConfig(
+                window_sizes=(3, 5, 7),
+                stride=5,
+                n_forests=2,
+                trees_per_forest=8,
+                seed=2,
+            ),
+            cascade_config=CascadeConfig(
+                n_layers=6, n_forests=2, trees_per_forest=8, seed=2
+            ),
+            backend=TreeServerBackend(system),
+            system=system,
+        )
+        holder["report"] = model.fit_report(train, test)
+
+    run_once(experiment)
+    report = holder["report"]
+
+    rows = []
+    for step in report.steps:
+        rows.append(
+            [
+                step.step,
+                f"{step.train_seconds:.3f}",
+                f"{step.test_seconds:.3f}" if step.test_seconds else "-",
+                f"{step.test_accuracy:.2%}" if step.test_accuracy is not None else "-",
+            ]
+        )
+    save_result(
+        "table7_deep_forest",
+        format_table(
+            "Table VII — deep forest steps (simulated seconds)",
+            ["step", "train(s)", "test(s)", "test accuracy"],
+            rows,
+        ),
+    )
+
+    cf_accs = [
+        s.test_accuracy for s in report.steps if s.test_accuracy is not None
+    ]
+    assert len(cf_accs) == 6
+    # High accuracy from the first cascade layer, improving over layers.
+    assert cf_accs[0] > 0.7
+    assert max(cf_accs) >= cf_accs[0]
+    assert max(cf_accs) > 0.85
+    # MGS training dominates cascade training (windows see far more rows).
+    mgs_train = sum(
+        s.train_seconds for s in report.steps if s.step.startswith("win")
+        and s.step.endswith("train")
+    )
+    cf_train = sum(
+        s.train_seconds for s in report.steps
+        if s.step.startswith("CF") and s.step.endswith("train")
+    )
+    assert mgs_train > cf_train

@@ -1,0 +1,73 @@
+"""Table VIII(c,d): accuracy and time vs the per-tree column ratio |C|/|A|.
+
+Paper shape: training time grows with the ratio (more columns to scan per
+node); accuracy rises from 20% and then flattens well before 100% — a
+moderate column sample per tree is already sufficient (and on Allstate the
+RMSE barely moves at all).
+"""
+
+from repro.core import ColumnSampling, TreeConfig
+from repro.evaluation import ExperimentRow, load_dataset, run_treeserver, sweep_table
+
+from conftest import save_result
+
+RATIOS = [0.2, 0.4, 0.6, 0.8, 1.0]
+N_TREES = 20
+
+
+def test_table8cd_column_ratio(run_once):
+    results: dict[str, list[tuple[str, ExperimentRow]]] = {}
+
+    def experiment():
+        for dataset in ("allstate", "higgs_boson"):
+            train, test = load_dataset(dataset)
+            rows = []
+            for ratio in RATIOS:
+                cfg = TreeConfig(
+                    max_depth=10,
+                    column_sampling=ColumnSampling.RATIO,
+                    column_ratio=ratio,
+                )
+                rows.append(
+                    (
+                        f"{int(ratio * 100)}%",
+                        run_treeserver(
+                            dataset, train, test, cfg, n_trees=N_TREES, seed=9
+                        ),
+                    )
+                )
+            results[dataset] = rows
+
+    run_once(experiment)
+
+    for dataset, rows in results.items():
+        save_result(
+            f"table8cd_ratio_{dataset}",
+            sweep_table(
+                f"Table VIII(c,d) — column ratio sweep on {dataset} "
+                f"(RF-{N_TREES})",
+                "|C|/|A|",
+                rows,
+            ),
+        )
+
+    for dataset, rows in results.items():
+        times = [r.sim_seconds for _, r in rows]
+        # More columns per tree cost more time.
+        assert times[-1] > times[0] * 1.3
+        qualities = [r.quality for _, r in rows]
+        metric = rows[0][1].quality_metric
+        if metric == "rmse":
+            # Regression: more columns never hurt; RMSE improves (or holds)
+            # monotonically.  (The paper's Allstate is *flat* across the
+            # sweep thanks to extreme real-data redundancy our synthetic
+            # stand-in only partially reproduces — see EXPERIMENTS.md.)
+            for a, b in zip(qualities, qualities[1:]):
+                assert b <= a * 1.05
+            assert qualities[-1] < qualities[0]
+        else:
+            # Higgs-style: accuracy rises from 20% then levels off; the
+            # 60%+ region is within a few points of the best.
+            best = max(qualities)
+            assert qualities[0] <= best  # 20% is not the best
+            assert min(qualities[2:]) >= best - 0.06

@@ -1,0 +1,39 @@
+"""Shared benchmark helpers.
+
+Every benchmark here regenerates one table of the paper's Section VIII
+(same rows and column meanings) at laptop scale, prints it, saves it under
+``benchmarks/results/`` and asserts the paper's qualitative *shape* (who
+wins, how trends move).  Times are simulated seconds from the shared cost
+model; quality is measured on held-out test splits of the Table-I-shaped
+synthetic datasets.
+
+Each test takes the ``benchmark`` fixture so ``pytest --benchmark-only``
+runs the suite; the measured callable runs exactly once (these are
+experiment harnesses, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table for EXPERIMENTS.md and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

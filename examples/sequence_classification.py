@@ -1,0 +1,73 @@
+"""Deep-forest-style sequence classification with 1-D multi-grained scanning.
+
+The deep-forest design applies MGS to sequences exactly as to images:
+windows of several lengths slide along each sequence, forests trained on
+window vectors re-represent the data, and a downstream forest classifies
+the representation.  This example classifies synthetic sensor-like
+sequences whose classes differ by short local motifs — invisible to a
+whole-sequence model, easy for windows.
+
+Run:  python examples/sequence_classification.py
+"""
+
+import numpy as np
+
+from repro.core import TreeConfig, train_tree
+from repro.core.jobs import random_forest_job
+from repro.deepforest import LocalBackend
+from repro.deepforest.cascade import features_to_table
+from repro.deepforest.sequences import (
+    SequenceMGSConfig,
+    SequenceScanner,
+    generate_sequences,
+)
+from repro.ensemble import ForestModel
+from repro.evaluation import accuracy
+
+
+def train_forest(table, n_trees, seed):
+    job = random_forest_job("rf", n_trees, TreeConfig(max_depth=10), seed=seed)
+    return ForestModel(
+        [train_tree(table, t.config) for t in job.stages[0].trees]
+    )
+
+
+def main() -> None:
+    train = generate_sequences(240, length=32, n_classes=4, seed=21)
+    test = generate_sequences(120, length=32, n_classes=4, seed=22)
+    print(f"{train.n_sequences} train / {test.n_sequences} test sequences, "
+          f"length {train.length}, {train.n_classes} classes")
+
+    # Baseline: a forest on raw sequence values (positions as columns).
+    raw_train = features_to_table(train.sequences, train.labels, 4)
+    raw_test = features_to_table(test.sequences, test.labels, 4)
+    raw_forest = train_forest(raw_train, 10, seed=1)
+    raw_acc = accuracy(raw_test.target, raw_forest.predict(raw_test))
+    print(f"\nforest on raw positions:        {raw_acc:.2%}")
+
+    # MGS re-representation: windows of lengths 4 and 8.
+    scanner = SequenceScanner(
+        SequenceMGSConfig(
+            window_sizes=(4, 8), stride=2, n_forests=2, trees_per_forest=8,
+            seed=2,
+        ),
+        LocalBackend(),
+    )
+    scanner.fit(train)
+    train_features = scanner.transform(train)
+    test_features = scanner.transform(test)
+    print(f"MGS re-representation: {train_features.shape[1]} features")
+
+    mgs_train = features_to_table(train_features, train.labels, 4)
+    mgs_test = features_to_table(test_features, test.labels, 4)
+    mgs_forest = train_forest(mgs_train, 10, seed=3)
+    mgs_acc = accuracy(mgs_test.target, mgs_forest.predict(mgs_test))
+    print(f"forest on MGS representation:   {mgs_acc:.2%}")
+
+    if mgs_acc > raw_acc:
+        print("\nmulti-grained scanning recovered the local motif structure "
+              "that raw-position splits missed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Mini system comparison: TreeServer vs MLlib-style vs XGBoost-style.
+
+A condensed version of the paper's Table II on two datasets: exact
+distributed training (TreeServer) against histogram-approximate
+level-synchronous training (the MLlib/PLANET baseline, parallel and
+single-thread) and sequential second-order boosting (the XGBoost baseline).
+Times are simulated seconds on the shared cost model; quality is measured
+on a held-out test split.
+
+Run:  python examples/system_comparison.py
+"""
+
+from repro import TreeConfig
+from repro.baselines import XGBoostConfig
+from repro.evaluation import (
+    ComparisonTable,
+    load_dataset,
+    run_mllib,
+    run_treeserver,
+    run_xgboost,
+)
+
+
+def main() -> None:
+    table = ComparisonTable(
+        "System comparison (20-tree forests; XGBoost: 20 rounds)",
+        ["TreeServer", "MLlib (Parallel)", "MLlib (Single Thread)", "XGBoost"],
+    )
+    cfg = TreeConfig(max_depth=8)
+    for dataset in ("covtype", "loan_m1"):
+        train, test = load_dataset(dataset, small=True)
+        table.add(run_treeserver(dataset, train, test, cfg, n_trees=20, seed=1))
+        table.add(run_mllib(dataset, train, test, cfg, n_trees=20, seed=1))
+        table.add(
+            run_mllib(
+                dataset, train, test, cfg, n_trees=20, seed=1, single_thread=True
+            )
+        )
+        table.add(
+            run_xgboost(
+                dataset,
+                train,
+                test,
+                XGBoostConfig(n_rounds=20, max_depth=6),
+            )
+        )
+    print(table.render())
+    for dataset in ("covtype", "loan_m1"):
+        speed = table.speedup(dataset, "TreeServer", "MLlib (Parallel)")
+        print(f"{dataset}: TreeServer is {speed:.1f}x faster than MLlib")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: this offline environment lacks the ``wheel`` package,
+so PEP 517 editable installs fail; ``pip install -e . --no-use-pep517`` (or
+plain ``pip install -e .`` with old pip) uses this file instead.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

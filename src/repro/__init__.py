@@ -1,0 +1,69 @@
+"""TreeServer reproduction: distributed task-based training of tree models.
+
+A full reimplementation of the ICDE 2022 TreeServer system (Yan et al.) on
+a deterministic discrete-event cluster simulator, plus the baselines its
+evaluation compares against (Spark-MLlib/PLANET-style histogram training and
+XGBoost-style gradient boosting), the deep-forest case study, a simulated
+HDFS with the paper's column-group data layout, and synthetic datasets
+mirroring the paper's Table I.
+
+Quickstart::
+
+    from repro import TreeServer, SystemConfig, TreeConfig, decision_tree_job
+    from repro.datasets import train_test, dataset_spec
+
+    train, test = train_test(dataset_spec("higgs_boson", small=True))
+    server = TreeServer(SystemConfig(n_workers=8).scaled_to(train.n_rows))
+    report = server.fit(train, [decision_tree_job("dt", TreeConfig(max_depth=10))])
+    print(report.sim_seconds, (report.tree("dt").predict(test) == test.target).mean())
+"""
+
+from .core import (
+    CandidateSplit,
+    ColumnSampling,
+    DecisionTree,
+    Impurity,
+    RunReport,
+    SystemConfig,
+    TrainingJob,
+    TreeConfig,
+    TreeKind,
+    TreeNode,
+    TreeServer,
+    decision_tree_job,
+    extra_trees_job,
+    random_forest_job,
+    staged_job,
+    train_tree,
+    trees_equal,
+)
+from .data import DataTable, ProblemKind, read_csv, write_csv
+from .ensemble import ForestModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CandidateSplit",
+    "ColumnSampling",
+    "DataTable",
+    "DecisionTree",
+    "ForestModel",
+    "Impurity",
+    "ProblemKind",
+    "RunReport",
+    "SystemConfig",
+    "TrainingJob",
+    "TreeConfig",
+    "TreeKind",
+    "TreeNode",
+    "TreeServer",
+    "decision_tree_job",
+    "extra_trees_job",
+    "random_forest_job",
+    "read_csv",
+    "staged_job",
+    "train_tree",
+    "trees_equal",
+    "write_csv",
+    "__version__",
+]

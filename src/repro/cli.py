@@ -1,0 +1,218 @@
+"""Command-line interface: train, evaluate and apply tree models on CSVs.
+
+A small operational surface over the library, in the spirit of the released
+TreeServer's demo workflow:
+
+* ``train`` — load a CSV, train a decision tree / random forest /
+  extra-trees model on the simulated TreeServer deployment, report run
+  metrics, and save the model as JSON files.
+* ``predict`` — apply a saved model to a CSV and write predictions.
+* ``evaluate`` — score a saved model against a labelled CSV.
+* ``datasets`` — list the built-in Table-I-shaped synthetic datasets and
+  optionally materialize one as a CSV.
+
+Usage::
+
+    python -m repro.cli train --csv data.csv --target label \
+        --model-dir model/ --forest 20 --workers 8
+    python -m repro.cli predict --csv new.csv --model-dir model/ --out preds.csv
+    python -m repro.cli evaluate --csv held_out.csv --target label --model-dir model/
+    python -m repro.cli datasets --materialize higgs_boson --out higgs.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.config import SystemConfig, TreeConfig, TreeKind
+from .core.jobs import decision_tree_job, extra_trees_job, random_forest_job
+from .core.persistence import load_model_local, save_model_local
+from .core.server import TreeServer
+from .data.io import read_csv, write_csv
+from .data.schema import ProblemKind
+from .datasets.registry import dataset_names, dataset_spec
+from .datasets.synthetic import generate
+from .evaluation.metrics import accuracy, rmse
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TreeServer reproduction: train tree models on CSV data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a model from a CSV file")
+    train.add_argument("--csv", required=True, help="input CSV path")
+    train.add_argument("--target", required=True, help="target column name")
+    train.add_argument("--model-dir", required=True, help="output directory")
+    train.add_argument("--max-depth", type=int, default=10)
+    train.add_argument("--tau-leaf", type=int, default=1)
+    train.add_argument(
+        "--forest", type=int, default=0, metavar="N",
+        help="train a random forest with N trees (default: one tree)",
+    )
+    train.add_argument(
+        "--extra-trees", action="store_true",
+        help="use completely-random trees instead of exact splits",
+    )
+    train.add_argument("--workers", type=int, default=8)
+    train.add_argument("--compers", type=int, default=4)
+    train.add_argument("--seed", type=int, default=0)
+
+    predict = sub.add_parser("predict", help="apply a saved model to a CSV")
+    predict.add_argument("--csv", required=True)
+    predict.add_argument("--model-dir", required=True)
+    predict.add_argument("--out", required=True, help="output CSV path")
+    predict.add_argument(
+        "--target", default=None,
+        help="target column to ignore if present in the CSV",
+    )
+    predict.add_argument(
+        "--max-depth", type=int, default=None,
+        help="truncate prediction at this depth (Appendix D)",
+    )
+
+    evaluate = sub.add_parser("evaluate", help="score a saved model")
+    evaluate.add_argument("--csv", required=True)
+    evaluate.add_argument("--target", required=True)
+    evaluate.add_argument("--model-dir", required=True)
+
+    datasets = sub.add_parser(
+        "datasets", help="list / materialize built-in synthetic datasets"
+    )
+    datasets.add_argument(
+        "--materialize", default=None, metavar="NAME",
+        help="write this dataset as CSV",
+    )
+    datasets.add_argument("--out", default=None, help="CSV output path")
+    datasets.add_argument(
+        "--small", action="store_true", help="use the small variant"
+    )
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace, out) -> int:
+    table = read_csv(args.csv, target=args.target)
+    config = TreeConfig(
+        max_depth=args.max_depth,
+        tau_leaf=args.tau_leaf,
+        tree_kind=TreeKind.EXTRA if args.extra_trees else TreeKind.DECISION,
+        seed=args.seed,
+    )
+    if args.forest > 0:
+        if args.extra_trees:
+            job = extra_trees_job("model", args.forest, config, seed=args.seed)
+        else:
+            job = random_forest_job("model", args.forest, config, seed=args.seed)
+    else:
+        job = decision_tree_job("model", config)
+    system = SystemConfig(
+        n_workers=args.workers, compers_per_worker=args.compers
+    ).scaled_to(table.n_rows)
+    report = TreeServer(system).fit(table, [job])
+    trees = report.trees("model")
+    save_model_local(args.model_dir, "model", trees)
+    print(
+        f"trained {len(trees)} tree(s) on {table.n_rows} rows "
+        f"({table.n_columns} columns) in {report.sim_seconds:.3f} simulated "
+        f"seconds "
+        f"(CPU {report.cluster.avg_worker_cpu_percent:.0f}%, "
+        f"send {report.cluster.avg_worker_send_mbps:.0f} Mbps)",
+        file=out,
+    )
+    print(f"model saved to {args.model_dir}", file=out)
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace, out) -> int:
+    model = load_model_local(args.model_dir)
+    problem = (
+        ProblemKind.CLASSIFICATION
+        if model.problem is ProblemKind.CLASSIFICATION
+        else ProblemKind.REGRESSION
+    )
+    try:
+        table = read_csv(args.csv, target=args.target or "", problem=problem)
+    except ValueError:
+        # No target column in the CSV: append a dummy one.
+        import csv as csv_module
+        import io
+
+        with open(args.csv, newline="") as handle:
+            rows = list(csv_module.reader(handle))
+        dummy = "0" if problem is ProblemKind.CLASSIFICATION else "0.0"
+        buffer = io.StringIO()
+        writer = csv_module.writer(buffer)
+        writer.writerow(rows[0] + ["__target__"])
+        for row in rows[1:]:
+            if row:
+                writer.writerow(row + [dummy])
+        buffer.seek(0)
+        table = read_csv(buffer, target="__target__", problem=problem)
+    predictions = model.predict(table, max_depth=args.max_depth)
+    with open(args.out, "w") as handle:
+        handle.write("prediction\n")
+        for value in predictions:
+            handle.write(f"{value}\n")
+    print(f"wrote {len(predictions)} predictions to {args.out}", file=out)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace, out) -> int:
+    model = load_model_local(args.model_dir)
+    table = read_csv(args.csv, target=args.target)
+    predictions = model.predict(table)
+    if table.problem is ProblemKind.CLASSIFICATION:
+        value = accuracy(table.target, predictions)
+        print(f"accuracy: {value:.4f}", file=out)
+    else:
+        value = rmse(table.target, np.asarray(predictions, dtype=float))
+        print(f"rmse: {value:.4f}", file=out)
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace, out) -> int:
+    if args.materialize is None:
+        for name in dataset_names():
+            spec = dataset_spec(name)
+            print(
+                f"{name:12s} rows={spec.n_rows:<7d} numeric={spec.n_numeric:<4d}"
+                f"categorical={spec.n_categorical:<4d} "
+                f"problem={spec.problem.value}",
+                file=out,
+            )
+        return 0
+    if args.out is None:
+        print("--materialize requires --out", file=sys.stderr)
+        return 2
+    spec = dataset_spec(args.materialize, small=args.small)
+    table = generate(spec)
+    write_csv(table, args.out)
+    print(f"wrote {table.n_rows} rows to {args.out}", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "train":
+            return _cmd_train(args, out)
+        if args.command == "predict":
+            return _cmd_predict(args, out)
+        if args.command == "evaluate":
+            return _cmd_evaluate(args, out)
+        if args.command == "datasets":
+            return _cmd_datasets(args, out)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: normal for CLIs.
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

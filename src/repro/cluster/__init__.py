@@ -1,0 +1,35 @@
+"""Discrete-event cluster simulator: machines, cores, network, faults.
+
+This substrate replaces the paper's physical 15-machine / 1 GigE testbed
+(see DESIGN.md, substitutions).  All protocol logic executes for real; only
+the clock is virtual.
+"""
+
+from .cost import CostModel, log2_ceil
+from .faults import CrashPlan, FaultInjector
+from .machine import Machine, MachineStats
+from .metrics import ClusterReport, MachineReport, collect_metrics, utilization_curve
+from .network import DeadMachineError, Message, Network
+from .simulation import EventHandle, SimulationEngine, SimulationError
+from .topology import Actor, SimulatedCluster
+
+__all__ = [
+    "Actor",
+    "ClusterReport",
+    "CostModel",
+    "CrashPlan",
+    "DeadMachineError",
+    "EventHandle",
+    "FaultInjector",
+    "Machine",
+    "MachineReport",
+    "MachineStats",
+    "Message",
+    "Network",
+    "SimulatedCluster",
+    "SimulationEngine",
+    "SimulationError",
+    "collect_metrics",
+    "utilization_curve",
+    "log2_ceil",
+]

@@ -1,0 +1,113 @@
+"""Cost model: how many ops / bytes each action in the protocol costs.
+
+The master's load-balancing decisions (paper Section VI) and the simulated
+clock both consume these estimates.  Units are abstract "ops" for compute
+(the paper: *"the unit does not matter as long as they are the same for all
+workers"*) and bytes for communication.
+
+The defaults approximate the paper's testbed: 2.67 GHz Xeons doing a few
+tens of millions of comparison-ish operations per second per core in the
+tree-training inner loop, and 1 GigE links (125 MB/s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def log2_ceil(n: int) -> float:
+    """``log2(n)`` floored at 1 — the tree-height / sort-depth factor."""
+    return max(1.0, math.log2(max(2, n)))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs for compute, communication and payload sizes."""
+
+    ops_per_second: float = 25e6
+    bandwidth_bytes_per_second: float = 125e6
+    latency_seconds: float = 5e-4
+
+    row_id_bytes: int = 8
+    value_bytes: int = 8
+    #: Fixed overhead of any control message (headers, task ids).
+    control_bytes: int = 128
+    #: Serialized size of one per-column best-split result.
+    split_result_bytes: int = 96
+    #: Serialized size of one tree node in a subtree-result message.
+    node_bytes: int = 64
+    #: Per-connection cost of opening a (simulated) HDFS file stream.
+    hdfs_connection_seconds: float = 5e-3
+
+    # ------------------------------------------------------------------
+    # compute costs (abstract ops)
+    # ------------------------------------------------------------------
+    def split_search_ops(self, n_rows: int) -> float:
+        """Exact best-split search over one column of ``n`` rows.
+
+        Sort-dominated: ``n log n`` (paper Appendix B, Case 1; Cases 2-3 are
+        cheaper but we charge uniformly, as the paper's load model does by
+        assuming one-pass-amenable attributes).
+        """
+        return n_rows * log2_ceil(n_rows)
+
+    def subtree_build_ops(self, n_rows: int, n_columns: int) -> float:
+        """Build a whole subtree over ``n`` rows and ``|C|`` columns.
+
+        The paper's estimate for key-worker load: ``|I_x| * |C| * log|I_x|``
+        (each tree level scans every row once per candidate column; height
+        approximated as ``log|I_x|``).
+        """
+        return n_rows * n_columns * log2_ceil(n_rows)
+
+    def partition_ops(self, n_rows: int) -> float:
+        """Split ``I_x`` into ``I_xl``/``I_xr`` at the delegate worker."""
+        return float(n_rows)
+
+    def gather_ops(self, n_rows: int, n_columns: int) -> float:
+        """Fetch ``n`` rows of ``c`` columns into a response buffer."""
+        return float(n_rows * n_columns)
+
+    def node_stats_ops(self, n_rows: int) -> float:
+        """Histogram / mean computation over a node's labels."""
+        return float(n_rows)
+
+    def master_dispatch_ops(self, n_columns: int, n_workers: int) -> float:
+        """Greedy worker-assignment cost for one plan at the master."""
+        return 500.0 + 20.0 * n_columns * max(1, n_workers)
+
+    # ------------------------------------------------------------------
+    # message sizes (bytes)
+    # ------------------------------------------------------------------
+    def row_ids_bytes(self, n_rows: int) -> int:
+        """Size of a row-id set ``I_x`` on the wire."""
+        return self.control_bytes + self.row_id_bytes * n_rows
+
+    def column_data_bytes(self, n_rows: int, n_columns: int) -> int:
+        """Size of a column-data response for a subtree-task."""
+        return self.control_bytes + self.value_bytes * n_rows * n_columns
+
+    def plan_bytes(self, n_columns: int) -> int:
+        """Size of a task-plan message (column ids + refs, *no* ``I_x`` —
+        the whole point of Section V)."""
+        return self.control_bytes + 16 * n_columns
+
+    def column_result_bytes(self, n_columns: int) -> int:
+        """Size of a worker's column-task result (per-column bests)."""
+        return self.control_bytes + self.split_result_bytes * n_columns
+
+    def subtree_bytes(self, n_nodes: int) -> int:
+        """Size of a serialized subtree result."""
+        return self.control_bytes + self.node_bytes * n_nodes
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def compute_seconds(self, ops: float) -> float:
+        """Ops to seconds on one core."""
+        return ops / self.ops_per_second
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Serialization time of a message on a NIC."""
+        return nbytes / self.bandwidth_bytes_per_second

@@ -1,0 +1,67 @@
+"""Fault injection for the worker-crash recovery path.
+
+The paper's fault-tolerance design (Section IV / Appendix E): a worker crash
+is survivable because every column is replicated on ``k`` machines — the
+master reassigns lost columns, revokes tasks the dead worker was involved
+in, and re-plans them from ``B_plan``.  :class:`FaultInjector` kills a
+machine at a chosen simulated time and notifies a failure handler after a
+detection delay (standing in for the heartbeat the real system would use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .machine import Machine
+from .network import Network
+from .simulation import SimulationEngine
+
+
+@dataclass
+class CrashPlan:
+    """One scheduled machine crash."""
+
+    machine_id: int
+    at_time: float
+
+
+class FaultInjector:
+    """Schedules machine crashes and failure notifications."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        machines: list[Machine],
+        network: Network,
+        detection_delay: float = 0.05,
+    ) -> None:
+        self._engine = engine
+        self._machines = machines
+        self._network = network
+        self._detection_delay = detection_delay
+        self._on_failure: Callable[[int], None] | None = None
+        self.crashed: list[int] = []
+
+    def on_failure_detected(self, handler: Callable[[int], None]) -> None:
+        """Install the master-side handler called after crash detection."""
+        self._on_failure = handler
+
+    def schedule_crash(self, plan: CrashPlan) -> None:
+        """Arrange for a machine to die at a simulated time."""
+
+        def crash() -> None:
+            machine = self._machines[plan.machine_id]
+            if machine.halted:
+                return
+            machine.halt()
+            self._network.mark_dead(plan.machine_id)
+            self.crashed.append(plan.machine_id)
+            if self._on_failure is not None:
+                handler = self._on_failure
+                self._engine.schedule(
+                    self._detection_delay,
+                    lambda: handler(plan.machine_id),
+                )
+
+        self._engine.schedule_at(plan.at_time, crash)

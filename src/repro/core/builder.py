@@ -1,0 +1,302 @@
+"""Serial exact tree builder.
+
+This is the single-machine training kernel.  It serves three roles:
+
+1. **Subtree-task execution** — when a distributed task ``t_x`` has
+   ``|D_x| <= tau_D``, the key worker pulls ``D_x`` and calls
+   :func:`build_subtree` to construct the whole ``Delta_x`` locally
+   (paper Fig. 3(b)).
+2. **Ground truth** — the exactness invariant asserts that distributed
+   training returns exactly the tree this builder produces.
+3. **A conventional serial trainer** — used by the paper's "fairness of
+   implementation" experiment and by the deep forest's fast local backend.
+
+Node ids are *heap paths*: the root is 1, node ``p``'s children are ``2p``
+and ``2p + 1``.  The path determines the depth (``path.bit_length() - 1``)
+and, for extra-trees, seeds the per-node RNG — which is how distributed and
+serial training draw identical random splits regardless of task order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import ProblemKind
+from ..data.table import DataTable
+from .config import TreeConfig, TreeKind
+from .splits import (
+    CandidateSplit,
+    best_split_for_column,
+    random_split_for_column,
+    route_training_rows,
+)
+from .tree import DecisionTree, TreeNode
+
+
+def path_depth(path: int) -> int:
+    """Depth of a heap-path node id (root path 1 has depth 0)."""
+    return path.bit_length() - 1
+
+
+def node_rng(seed: int, path: int) -> np.random.Generator:
+    """Per-node RNG derived from the tree seed and the node's heap path.
+
+    Deterministic in ``(seed, path)`` only — independent of the order nodes
+    are processed in, which is what lets the distributed engine reproduce
+    extra-tree splits bit-for-bit.
+    """
+    return np.random.default_rng([seed, path])
+
+
+def extra_tree_column_order(
+    seed: int, path: int, candidate_columns: tuple[int, ...]
+) -> list[int]:
+    """Column try-order for one extra-tree node.
+
+    The node samples one random column; if its values are degenerate
+    (constant / all missing) the next column in this order is tried.  The
+    order depends only on ``(seed, path)`` so the master and any worker
+    compute the same sequence independently.
+    """
+    order = node_rng(seed, path).permutation(len(candidate_columns))
+    return [candidate_columns[int(i)] for i in order]
+
+
+def extra_tree_split_rng(seed: int, path: int, column: int) -> np.random.Generator:
+    """RNG for one extra-tree random split draw.
+
+    Keyed by ``(seed, path, column)`` — not a shared stream — so a remote
+    column-holding worker reproduces the exact draw without coordination.
+    """
+    return np.random.default_rng([seed, path, column, 0xE7])
+
+
+def sample_candidate_columns(
+    config: TreeConfig, n_columns: int
+) -> tuple[int, ...]:
+    """Draw the per-tree candidate attribute set ``C``.
+
+    A sorted tuple for determinism.  For ``ColumnSampling.ALL`` this is all
+    columns; random forests use ``sqrt(|A|)`` columns per tree (paper
+    Section VIII); Table VIII(c,d) sweeps an explicit ratio.
+    """
+    size = config.n_candidate_columns(n_columns)
+    if size >= n_columns:
+        return tuple(range(n_columns))
+    rng = np.random.default_rng([config.seed, 0xC0])
+    cols = rng.choice(n_columns, size=size, replace=False)
+    return tuple(sorted(int(c) for c in cols))
+
+
+def bootstrap_row_ids(seed: int, n_rows: int) -> np.ndarray:
+    """Deterministic bootstrap sample for optional row bagging.
+
+    Both the master and workers can regenerate this from the tree seed, so
+    bootstrap row ids never travel in task-plan messages.
+    """
+    rng = np.random.default_rng([seed, 0xB0])
+    return np.sort(rng.integers(0, n_rows, size=n_rows, dtype=np.int64))
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Sufficient statistics of ``Y`` over a node's rows ``D_x``."""
+
+    n_rows: int
+    prediction: np.ndarray | float
+    is_pure: bool
+
+
+def node_statistics(
+    y: np.ndarray, problem: ProblemKind, n_classes: int
+) -> NodeStats:
+    """Prediction (PMF or mean) and purity flag for one node's labels."""
+    n = int(y.size)
+    if problem is ProblemKind.CLASSIFICATION:
+        counts = np.bincount(y.astype(np.int64), minlength=n_classes)
+        pmf = counts / max(n, 1)
+        pure = bool(n > 0 and counts.max() == n)
+        return NodeStats(n, pmf.astype(np.float64), pure)
+    mean = float(y.mean()) if n else 0.0
+    pure = bool(n > 0 and np.all(y == y[0]))
+    return NodeStats(n, mean, pure)
+
+
+def find_best_split(
+    table: DataTable,
+    row_ids: np.ndarray,
+    candidate_columns: tuple[int, ...],
+    config: TreeConfig,
+    path: int,
+) -> CandidateSplit | None:
+    """Best split across the candidate attributes for one node.
+
+    Decision trees compare the exact per-column bests and break ties toward
+    the lower column index.  Extra-trees draw one random column and one
+    random condition per node (paper Appendix F), retrying over the
+    remaining columns when the draw is degenerate.
+    """
+    y = table.target[row_ids]
+    criterion = config.resolved_criterion(
+        table.problem is ProblemKind.CLASSIFICATION
+    )
+    n_classes = table.n_classes
+
+    if config.tree_kind is TreeKind.EXTRA:
+        for col in extra_tree_column_order(config.seed, path, candidate_columns):
+            spec = table.column_spec(col)
+            split = random_split_for_column(
+                col,
+                spec.kind,
+                table.column(col)[row_ids],
+                y,
+                criterion,
+                n_classes,
+                extra_tree_split_rng(config.seed, path, col),
+                spec.n_categories,
+            )
+            if split is not None:
+                return split
+        return None
+
+    best: CandidateSplit | None = None
+    for col in candidate_columns:
+        spec = table.column_spec(col)
+        split = best_split_for_column(
+            col,
+            spec.kind,
+            table.column(col)[row_ids],
+            y,
+            criterion,
+            n_classes,
+            spec.n_categories,
+        )
+        if split is None:
+            continue
+        if best is None or split.sort_key() < best.sort_key():
+            best = split
+    return best
+
+
+def should_stop(
+    stats: NodeStats, depth: int, config: TreeConfig
+) -> bool:
+    """Leaf conditions (1)-(3) from the paper's Section II."""
+    if stats.is_pure:
+        return True
+    if stats.n_rows <= config.tau_leaf:
+        return True
+    if config.max_depth is not None and depth >= config.max_depth:
+        return True
+    return False
+
+
+def split_is_useful(
+    split: CandidateSplit | None,
+    parent_impurity: float,
+    config: TreeConfig,
+) -> bool:
+    """Whether a candidate split justifies creating children.
+
+    Exact trees demand a strict impurity decrease; extra-trees split whenever
+    a valid random condition exists (both children non-empty).
+    """
+    if split is None:
+        return False
+    if split.n_left == 0 or split.n_right == 0:
+        return False
+    if config.tree_kind is TreeKind.EXTRA:
+        return True
+    return split.score < parent_impurity - config.min_impurity_decrease
+
+
+def parent_impurity_of(
+    y: np.ndarray, criterion, n_classes: int
+) -> float:
+    """Impurity of a node's own label distribution."""
+    from .impurity import classification_impurity, variance
+
+    if criterion.is_classification:
+        counts = np.bincount(y.astype(np.int64), minlength=n_classes).astype(
+            np.float64
+        )
+        return classification_impurity(counts, criterion)
+    return variance(float(y.size), float(y.sum()), float((y * y).sum()))
+
+
+def build_subtree(
+    table: DataTable,
+    config: TreeConfig,
+    row_ids: np.ndarray,
+    candidate_columns: tuple[int, ...] | None = None,
+    root_path: int = 1,
+) -> TreeNode:
+    """Build the subtree ``Delta_x`` rooted at heap path ``root_path``.
+
+    Iterative (explicit stack) so unbounded-depth trees are safe.  This is
+    exactly the computation a subtree-task performs on its key worker.
+    """
+    if candidate_columns is None:
+        candidate_columns = sample_candidate_columns(config, table.n_columns)
+    criterion = config.resolved_criterion(
+        table.problem is ProblemKind.CLASSIFICATION
+    )
+
+    root_holder: list[TreeNode] = []
+    # Stack entries: (row_ids, path, attach) where attach places the built
+    # node into its parent (or the root holder).
+    stack: list[tuple[np.ndarray, int, tuple[TreeNode, str] | None]] = [
+        (np.asarray(row_ids, dtype=np.int64), root_path, None)
+    ]
+    while stack:
+        ids, path, attach = stack.pop()
+        y = table.target[ids]
+        stats = node_statistics(y, table.problem, table.n_classes)
+        node = TreeNode(
+            node_id=path,
+            depth=path_depth(path),
+            n_rows=stats.n_rows,
+            prediction=stats.prediction,
+        )
+        if attach is None:
+            root_holder.append(node)
+        else:
+            parent, side = attach
+            setattr(parent, side, node)
+
+        if should_stop(stats, node.depth, config):
+            continue
+        split = find_best_split(table, ids, candidate_columns, config, path)
+        parent_imp = parent_impurity_of(y, criterion, table.n_classes)
+        if not split_is_useful(split, parent_imp, config):
+            continue
+        assert split is not None
+        node.split = split
+        go_left = route_training_rows(table.column(split.column)[ids], split)
+        stack.append((ids[go_left], 2 * path, (node, "left")))
+        stack.append((ids[~go_left], 2 * path + 1, (node, "right")))
+    return root_holder[0]
+
+
+def train_tree(
+    table: DataTable,
+    config: TreeConfig,
+    tree_id: int = 0,
+    row_ids: np.ndarray | None = None,
+) -> DecisionTree:
+    """Train one complete tree serially — the conventional exact algorithm.
+
+    ``row_ids`` restricts training to a row subset (bootstrap bagging or a
+    pre-split training fold); by default all rows are used, as in the paper.
+    """
+    if row_ids is None:
+        row_ids = np.arange(table.n_rows, dtype=np.int64)
+    root = build_subtree(table, config, row_ids)
+    return DecisionTree(
+        root=root,
+        problem=table.problem,
+        n_classes=table.n_classes,
+        tree_id=tree_id,
+    )

@@ -1,0 +1,81 @@
+"""Model persistence: flush trained models to the (simulated) DFS.
+
+The paper's master writes each tree to disk as soon as its construction
+completes ("Model Output Files" in Fig. 2), so finished trees release
+memory while other trees are still training.  This module provides that
+output format — one JSON document per tree under a model directory, plus a
+manifest — over both the simulated DFS and the local filesystem, and the
+matching loader.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..ensemble.forest import ForestModel
+from ..hdfs.filesystem import SimHdfs
+from .tree import DecisionTree
+
+#: Manifest file name inside a model directory.
+MANIFEST = "_model.json"
+
+
+def _manifest_of(trees: list[DecisionTree], name: str) -> dict:
+    return {
+        "name": name,
+        "n_trees": len(trees),
+        "problem": trees[0].problem.value,
+        "n_classes": trees[0].n_classes,
+        "trees": [f"tree_{i}.json" for i in range(len(trees))],
+    }
+
+
+def save_model_hdfs(
+    fs: SimHdfs, base_path: str, name: str, trees: list[DecisionTree]
+) -> None:
+    """Write a model (one or many trees) to the simulated DFS."""
+    if not trees:
+        raise ValueError("cannot save an empty model")
+    base = base_path.rstrip("/")
+    with fs.create(f"{base}/{MANIFEST}", overwrite=True) as writer:
+        writer.write(json.dumps(_manifest_of(trees, name)).encode())
+    for i, tree in enumerate(trees):
+        with fs.create(f"{base}/tree_{i}.json", overwrite=True) as writer:
+            writer.write(json.dumps(tree.to_dict()).encode())
+
+
+def load_model_hdfs(fs: SimHdfs, base_path: str) -> ForestModel:
+    """Load a model saved by :func:`save_model_hdfs`."""
+    base = base_path.rstrip("/")
+    with fs.open(f"{base}/{MANIFEST}") as reader:
+        manifest = json.loads(reader.read().decode())
+    trees = []
+    for filename in manifest["trees"]:
+        with fs.open(f"{base}/{filename}") as reader:
+            trees.append(DecisionTree.from_dict(json.loads(reader.read().decode())))
+    return ForestModel(trees)
+
+
+def save_model_local(
+    directory: str | Path, name: str, trees: list[DecisionTree]
+) -> None:
+    """Write a model to a local directory (same layout as the DFS form)."""
+    if not trees:
+        raise ValueError("cannot save an empty model")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / MANIFEST).write_text(json.dumps(_manifest_of(trees, name)))
+    for i, tree in enumerate(trees):
+        (path / f"tree_{i}.json").write_text(json.dumps(tree.to_dict()))
+
+
+def load_model_local(directory: str | Path) -> ForestModel:
+    """Load a model saved by :func:`save_model_local`."""
+    path = Path(directory)
+    manifest = json.loads((path / MANIFEST).read_text())
+    trees = [
+        DecisionTree.from_dict(json.loads((path / filename).read_text()))
+        for filename in manifest["trees"]
+    ]
+    return ForestModel(trees)

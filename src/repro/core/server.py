@@ -1,0 +1,237 @@
+"""TreeServer facade: the public entry point for distributed training.
+
+Wires a :class:`SimulatedCluster` (master + workers), partitions the data
+table's columns across workers with ``k``-way replication, runs the
+submitted jobs through the master/worker protocol, and returns the trained
+models together with paper-style run metrics (simulated seconds, CPU
+percent, send Mbps, peak memory).
+
+Typical use::
+
+    from repro import TreeServer, SystemConfig, random_forest_job
+
+    server = TreeServer(SystemConfig(n_workers=8).scaled_to(table.n_rows))
+    report = server.fit(table, [random_forest_job("rf", n_trees=20)])
+    forest = report.forest("rf")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cost import CostModel
+from ..cluster.faults import CrashPlan, FaultInjector
+from ..cluster.metrics import ClusterReport
+from ..cluster.topology import SimulatedCluster
+from ..data.table import DataTable
+from .config import SystemConfig
+from .jobs import TrainingJob
+from .load_balance import assign_columns_to_workers
+from .master import MasterActor, _TableInfo
+from .secondary import SecondaryMasterActor
+from .tasks import TaskCounters
+from .tree import DecisionTree
+from .worker import WorkerActor
+
+
+@dataclass
+class RunReport:
+    """Everything a training run produced."""
+
+    sim_seconds: float
+    cluster: ClusterReport
+    counters: TaskCounters
+    models: dict[str, list[DecisionTree]] = field(default_factory=dict)
+    #: The simulated machines, kept only when the run recorded timelines.
+    machines: list | None = None
+
+    def utilization_curve(self, n_bins: int = 20) -> list[float]:
+        """Busy cores per time bin (requires ``record_timeline=True``)."""
+        if self.machines is None:
+            raise ValueError(
+                "run without timelines; pass record_timeline=True to fit()"
+            )
+        from ..cluster.metrics import utilization_curve
+
+        return utilization_curve(self.machines, self.sim_seconds, n_bins)
+
+    def trees(self, job_name: str) -> list[DecisionTree]:
+        """Trained trees of one job."""
+        return self.models[job_name]
+
+    def tree(self, job_name: str) -> DecisionTree:
+        """The single tree of a one-tree job."""
+        trees = self.models[job_name]
+        if len(trees) != 1:
+            raise ValueError(
+                f"job {job_name!r} trained {len(trees)} trees, expected 1"
+            )
+        return trees[0]
+
+    def forest(self, job_name: str):
+        """Trees of a job wrapped as a :class:`repro.ensemble.ForestModel`."""
+        from ..ensemble.forest import ForestModel
+
+        return ForestModel(self.models[job_name])
+
+
+class TreeServer:
+    """A (simulated) TreeServer deployment ready to train tree models."""
+
+    def __init__(
+        self, system: SystemConfig | None = None, cost: CostModel | None = None
+    ) -> None:
+        self.system = system or SystemConfig()
+        self.cost = cost or CostModel(
+            ops_per_second=self.system.core_ops_per_second,
+            bandwidth_bytes_per_second=self.system.bandwidth_bytes_per_second,
+            latency_seconds=self.system.network_latency_seconds,
+        )
+
+    def fit(
+        self,
+        table: DataTable,
+        jobs: list[TrainingJob],
+        crash_plans: list[CrashPlan] | None = None,
+        max_events: int | None = None,
+        secondary_master: bool = False,
+        record_timeline: bool = False,
+    ) -> RunReport:
+        """Train all jobs on the table; returns models plus run metrics.
+
+        ``crash_plans`` optionally injects failures (fault-tolerance tests);
+        ``secondary_master`` enables the Appendix-E hot standby, making a
+        master crash survivable; ``record_timeline`` traces every executed
+        work item so :meth:`RunReport.utilization_curve` can be used;
+        ``max_events`` is a runaway guard.
+        """
+        if not jobs:
+            raise ValueError("no jobs submitted")
+        if table.n_rows < 1:
+            raise ValueError("empty training table")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique")
+
+        cluster = SimulatedCluster(
+            n_workers=self.system.n_workers,
+            compers_per_worker=self.system.compers_per_worker,
+            cost=self.cost,
+            extra_machines=1 if secondary_master else 0,
+        )
+        if record_timeline:
+            for machine in cluster.machines:
+                machine.record_timeline = True
+        worker_ids = cluster.worker_ids()
+        placement = assign_columns_to_workers(
+            table.n_columns, worker_ids, self.system.column_replication
+        )
+        workers: list[WorkerActor] = []
+        for wid in worker_ids:
+            held = {c for c, ws in placement.items() if wid in ws}
+            worker = WorkerActor(cluster, wid, table, held)
+            cluster.register(wid, worker)
+            workers.append(worker)
+
+        info = _TableInfo(
+            n_rows=table.n_rows,
+            n_columns=table.n_columns,
+            problem=table.problem,
+            n_classes=table.n_classes,
+        )
+        secondary: SecondaryMasterActor | None = None
+        if secondary_master:
+            secondary_id = self.system.n_workers + 1
+            secondary = SecondaryMasterActor(
+                cluster, secondary_id, info, jobs, self.system, placement
+            )
+            cluster.register(secondary_id, secondary)
+        master = MasterActor(
+            cluster,
+            info,
+            jobs,
+            self.system,
+            placement,
+            secondary_id=(secondary.machine_id if secondary else None),
+        )
+        cluster.register(cluster.MASTER, master)
+
+        if crash_plans:
+            injector = FaultInjector(
+                cluster.engine, cluster.machines, cluster.network
+            )
+
+            def on_failure(machine_id: int) -> None:
+                if machine_id == cluster.MASTER:
+                    assert secondary is not None
+                    secondary.on_master_failure()
+                    return
+                active = (
+                    secondary.promoted
+                    if secondary is not None and secondary.promoted
+                    else master
+                )
+                if active.halted:
+                    # The master died before this worker-crash was
+                    # detected; the upcoming failover rebuilds its state
+                    # from live workers only, so nothing to do here.
+                    return
+                active.on_worker_crashed(machine_id)
+
+            injector.on_failure_detected(on_failure)
+            for plan in crash_plans:
+                if plan.machine_id == cluster.MASTER and not secondary_master:
+                    raise ValueError(
+                        "master failure needs secondary_master=True"
+                    )
+                injector.schedule_crash(plan)
+
+        master.start()
+        report = cluster.run(max_events=max_events)
+
+        if secondary is not None and secondary.promoted is not None:
+            master = secondary.promoted  # results live in the new master
+        if not master.is_done():
+            raise RuntimeError(
+                "simulation drained but training is incomplete "
+                f"({master.pool.completed_trees}/{master.pool.total_trees} trees)"
+            )
+        self._check_clean_shutdown(workers)
+        if not master.matrix.is_zero():
+            raise RuntimeError(
+                "load matrix did not return to zero: "
+                f"{master.matrix.snapshot()}"
+            )
+        master.counters.head_insertions = master.bplan.head_insertions
+        master.counters.tail_insertions = master.bplan.tail_insertions
+        master.counters.bplan_peak = max(
+            master.counters.bplan_peak, master.bplan.peak_size
+        )
+
+        models = {job.name: master.trained_trees(job.name) for job in jobs}
+        return RunReport(
+            sim_seconds=report.elapsed_seconds,
+            cluster=report,
+            counters=master.counters,
+            models=models,
+            machines=cluster.machines if record_timeline else None,
+        )
+
+    @staticmethod
+    def _check_clean_shutdown(workers: list[WorkerActor]) -> None:
+        """Assert no worker leaked task state or task memory."""
+        for worker in workers:
+            if worker.machine.halted:
+                continue  # crashed workers keep whatever they had
+            leftovers = {
+                k: v for k, v in worker.outstanding_state().items() if v
+            }
+            if leftovers:
+                raise RuntimeError(
+                    f"worker {worker.worker_id} leaked task state: {leftovers}"
+                )
+            if worker.machine.stats.mem_task_bytes != 0:
+                raise RuntimeError(
+                    f"worker {worker.worker_id} leaked "
+                    f"{worker.machine.stats.mem_task_bytes} bytes of task memory"
+                )

@@ -1,0 +1,188 @@
+"""CSV reading and writing with schema inference.
+
+TreeServer accepts "flexible user data input like in pandas" and performs
+runtime type dispatch per column (paper Section VIII, *Fairness of
+Implementation*).  This module provides the equivalent ingestion path: a CSV
+file is scanned once to infer, per column, whether it is numeric or
+categorical, then encoded into the column-major :class:`DataTable`.
+
+The same reader backs the simulated HDFS ``put`` program
+(:mod:`repro.hdfs.put`), which streams rows into per-column-group files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence, TextIO
+
+import numpy as np
+
+from .schema import ColumnKind, ColumnSpec, ProblemKind, TableSchema
+from .table import MISSING_CODE, DataTable
+
+#: Tokens treated as a missing value during parsing (case-insensitive).
+MISSING_TOKENS = frozenset({"", "na", "nan", "null", "?"})
+
+
+def _is_missing(token: str) -> bool:
+    return token.strip().lower() in MISSING_TOKENS
+
+
+def _is_float(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+def infer_column_kind(tokens: Iterable[str]) -> ColumnKind:
+    """Infer a column kind from raw string tokens.
+
+    A column is numeric iff every non-missing token parses as a float.
+    A column whose tokens are all missing defaults to numeric.
+    """
+    for token in tokens:
+        if _is_missing(token):
+            continue
+        if not _is_float(token):
+            return ColumnKind.CATEGORICAL
+    return ColumnKind.NUMERIC
+
+
+def _encode_numeric(tokens: Sequence[str]) -> np.ndarray:
+    out = np.empty(len(tokens), dtype=np.float64)
+    for i, token in enumerate(tokens):
+        out[i] = np.nan if _is_missing(token) else float(token)
+    return out
+
+
+def _encode_categorical(tokens: Sequence[str]) -> tuple[np.ndarray, tuple[str, ...]]:
+    categories: dict[str, int] = {}
+    codes = np.empty(len(tokens), dtype=np.int32)
+    for i, token in enumerate(tokens):
+        if _is_missing(token):
+            codes[i] = MISSING_CODE
+            continue
+        token = token.strip()
+        if token not in categories:
+            categories[token] = len(categories)
+        codes[i] = categories[token]
+    return codes, tuple(categories)
+
+
+def read_csv(
+    source: str | Path | TextIO,
+    target: str,
+    problem: ProblemKind | None = None,
+) -> DataTable:
+    """Parse a CSV file with a header row into a :class:`DataTable`.
+
+    Parameters
+    ----------
+    source:
+        Path or open text stream.
+    target:
+        Name of the column to predict (``Y``).
+    problem:
+        Force classification or regression; by default regression is chosen
+        iff the target column is numeric.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return read_csv(handle, target, problem)
+
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV file is empty") from None
+    header = [h.strip() for h in header]
+    if target not in header:
+        raise ValueError(f"target column {target!r} not in header {header}")
+
+    raw_columns: list[list[str]] = [[] for _ in header]
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} fields, header has {len(header)}"
+            )
+        for buf, token in zip(raw_columns, row):
+            buf.append(token)
+
+    target_pos = header.index(target)
+    target_tokens = raw_columns[target_pos]
+    target_kind = infer_column_kind(target_tokens)
+    if problem is None:
+        problem = (
+            ProblemKind.REGRESSION
+            if target_kind is ColumnKind.NUMERIC
+            else ProblemKind.CLASSIFICATION
+        )
+
+    if problem is ProblemKind.REGRESSION:
+        if target_kind is not ColumnKind.NUMERIC:
+            raise ValueError("regression requested but target is not numeric")
+        target_spec = ColumnSpec(target, ColumnKind.NUMERIC)
+        target_arr: np.ndarray = _encode_numeric(target_tokens)
+    else:
+        codes, classes = _encode_categorical(
+            [str(t).strip() for t in target_tokens]
+        )
+        if (codes == MISSING_CODE).any():
+            raise ValueError("target column has missing values")
+        target_spec = ColumnSpec(target, ColumnKind.CATEGORICAL, classes)
+        target_arr = codes
+
+    specs: list[ColumnSpec] = []
+    arrays: list[np.ndarray] = []
+    for name, tokens in zip(header, raw_columns):
+        if name == target:
+            continue
+        kind = infer_column_kind(tokens)
+        if kind is ColumnKind.NUMERIC:
+            specs.append(ColumnSpec(name, ColumnKind.NUMERIC))
+            arrays.append(_encode_numeric(tokens))
+        else:
+            codes, categories = _encode_categorical(tokens)
+            specs.append(ColumnSpec(name, ColumnKind.CATEGORICAL, categories))
+            arrays.append(codes)
+
+    schema = TableSchema(tuple(specs), target_spec, problem)
+    return DataTable(schema, arrays, target_arr)
+
+
+def write_csv(table: DataTable, destination: str | Path | TextIO) -> None:
+    """Write a :class:`DataTable` back to CSV (decoding category codes)."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            write_csv(table, handle)
+            return
+
+    writer = csv.writer(destination)
+    header = [c.name for c in table.schema.columns] + [table.schema.target.name]
+    writer.writerow(header)
+    for i in range(table.n_rows):
+        row: list[str] = []
+        for spec, col in zip(table.schema.columns, table.columns):
+            row.append(_format_value(spec, col[i]))
+        row.append(_format_value(table.schema.target, table.target[i]))
+        writer.writerow(row)
+
+
+def _format_value(spec: ColumnSpec, value: float | int) -> str:
+    if spec.kind is ColumnKind.NUMERIC:
+        return "" if np.isnan(value) else repr(float(value))
+    code = int(value)
+    return "" if code == MISSING_CODE else spec.categories[code]
+
+
+def table_to_csv_text(table: DataTable) -> str:
+    """Render a table as CSV text (used by the HDFS ``put`` tests)."""
+    buf = io.StringIO()
+    write_csv(table, buf)
+    return buf.getvalue()

@@ -1,0 +1,146 @@
+"""Dataset preprocessing: joins and cleansing (paper Appendix G).
+
+The paper's loan dataset is built by joining two tables ("Origination
+Data" x "Monthly Performance Data") on ``LOAN SEQUENCE NUMBER``, then
+dropping every column with more than 75% missing values and filling the
+remaining missing values with the column mean.  This module provides those
+operations over :class:`~repro.data.table.DataTable` so the full data-prep
+pipeline is reproducible, not just the training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import ColumnKind, ColumnSpec, TableSchema
+from .table import MISSING_CODE, DataTable
+
+
+def join_tables(
+    left: DataTable,
+    right: DataTable,
+    left_key: str,
+    right_key: str | None = None,
+) -> DataTable:
+    """Inner-join two tables on a key column (many-to-one).
+
+    Every ``left`` row is matched to the unique ``right`` row with the same
+    key value; unmatched left rows are dropped.  The result carries the
+    left table's target and all feature columns of both sides except the
+    key columns themselves (join keys like loan sequence numbers are
+    identifiers, which the paper strips before training).
+
+    The key columns must be of the same kind on both sides; categorical
+    keys are matched by their category *labels* (codes may differ).
+    """
+    right_key = right_key or left_key
+    li = left.schema.column_index(left_key)
+    ri = right.schema.column_index(right_key)
+    lspec = left.schema.columns[li]
+    rspec = right.schema.columns[ri]
+    if lspec.kind is not rspec.kind:
+        raise ValueError("join key kinds differ between the tables")
+
+    if lspec.kind is ColumnKind.CATEGORICAL:
+        left_labels = [
+            lspec.categories[c] if c != MISSING_CODE else None
+            for c in left.column(li)
+        ]
+        right_labels = [
+            rspec.categories[c] if c != MISSING_CODE else None
+            for c in right.column(ri)
+        ]
+    else:
+        left_labels = list(left.column(li))
+        right_labels = list(right.column(ri))
+
+    lookup: dict = {}
+    for row, label in enumerate(right_labels):
+        if label is None or (isinstance(label, float) and np.isnan(label)):
+            continue
+        if label in lookup:
+            raise ValueError(
+                f"right key {label!r} is not unique; many-to-one join only"
+            )
+        lookup[label] = row
+
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for row, label in enumerate(left_labels):
+        if label is None or (isinstance(label, float) and np.isnan(label)):
+            continue
+        match = lookup.get(label)
+        if match is not None:
+            left_rows.append(row)
+            right_rows.append(match)
+    if not left_rows:
+        raise ValueError("join produced no rows")
+    lidx = np.asarray(left_rows, dtype=np.int64)
+    ridx = np.asarray(right_rows, dtype=np.int64)
+
+    specs: list[ColumnSpec] = []
+    columns: list[np.ndarray] = []
+    for i, spec in enumerate(left.schema.columns):
+        if i == li:
+            continue
+        specs.append(spec)
+        columns.append(left.column(i)[lidx])
+    taken = {spec.name for spec in specs} | {left.schema.target.name}
+    for i, spec in enumerate(right.schema.columns):
+        if i == ri:
+            continue
+        name = spec.name if spec.name not in taken else f"{spec.name}_r"
+        specs.append(ColumnSpec(name, spec.kind, spec.categories))
+        columns.append(right.column(i)[ridx])
+
+    schema = TableSchema(tuple(specs), left.schema.target, left.problem)
+    return DataTable(schema, columns, left.target[lidx])
+
+
+def drop_sparse_columns(
+    table: DataTable, max_missing_fraction: float = 0.75
+) -> DataTable:
+    """Remove feature columns missing in more than the given fraction of
+    rows (the paper drops columns with > 75% missing)."""
+    keep = [
+        i
+        for i in range(table.n_columns)
+        if table.missing_mask(i).mean() <= max_missing_fraction
+    ]
+    if not keep:
+        raise ValueError("every column exceeded the missing threshold")
+    return table.select_columns(keep)
+
+
+def fill_missing(table: DataTable) -> DataTable:
+    """Impute missing values: column mean (numeric) / mode (categorical).
+
+    The paper "cleansed the rest by filling missing values with the mean
+    attribute value"; the mode is the categorical analogue.
+    """
+    columns: list[np.ndarray] = []
+    for i, spec in enumerate(table.schema.columns):
+        col = table.column(i).copy()
+        mask = table.missing_mask(i)
+        if mask.any():
+            if spec.kind is ColumnKind.NUMERIC:
+                present = col[~mask]
+                fill = float(present.mean()) if present.size else 0.0
+                col[mask] = fill
+            else:
+                present = col[col != MISSING_CODE]
+                if present.size:
+                    fill_code = int(np.bincount(present).argmax())
+                else:
+                    fill_code = 0
+                col[mask] = fill_code
+        columns.append(col)
+    return DataTable(table.schema, columns, table.target.copy())
+
+
+def cleanse(
+    table: DataTable, max_missing_fraction: float = 0.75
+) -> DataTable:
+    """The paper's full Appendix-G cleansing: drop sparse columns, then
+    fill the remaining missing values."""
+    return fill_missing(drop_sparse_columns(table, max_missing_fraction))

@@ -1,0 +1,18 @@
+"""Synthetic dataset generators mirroring the paper's Table I and MNIST."""
+
+from .mnist_like import ImageDataset, generate_images, train_test_images
+from .registry import SMALL, TABLE_I, dataset_names, dataset_spec
+from .synthetic import SyntheticSpec, generate, train_test
+
+__all__ = [
+    "ImageDataset",
+    "SMALL",
+    "SyntheticSpec",
+    "TABLE_I",
+    "dataset_names",
+    "dataset_spec",
+    "generate",
+    "generate_images",
+    "train_test",
+    "train_test_images",
+]

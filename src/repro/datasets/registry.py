@@ -1,0 +1,183 @@
+"""Registry of Table-I-shaped synthetic datasets.
+
+Each entry mirrors one row of the paper's Table I at laptop scale: same
+numeric/categorical column counts and problem kind, row counts reduced by
+roughly three orders of magnitude (documented in DESIGN.md).  The three
+``loan_*`` datasets keep the paper's size ladder (1 : 4.6 : 8.5 row ratio,
+approximated as 1 : 4 : 8) so size-scaling comparisons still read the same.
+"""
+
+from __future__ import annotations
+
+from ..data.schema import ProblemKind
+from .synthetic import SyntheticSpec
+
+#: Paper Table I, scaled.  Keys are the lowercase paper dataset names.
+TABLE_I: dict[str, SyntheticSpec] = {
+    "allstate": SyntheticSpec(
+        name="allstate",
+        n_rows=16_000,
+        n_numeric=13,
+        n_categorical=14,
+        problem=ProblemKind.REGRESSION,
+        missing_rate=0.05,
+        planted_depth=7,
+        noise=0.05,
+        relevant_fraction=0.2,
+        redundancy=0.85,
+        seed=101,
+        tags=("regression", "missing"),
+    ),
+    "higgs_boson": SyntheticSpec(
+        name="higgs_boson",
+        n_rows=14_000,
+        n_numeric=28,
+        n_categorical=0,
+        n_classes=2,
+        planted_depth=8,
+        noise=0.10,
+        seed=502,
+    ),
+    "ms_ltrc": SyntheticSpec(
+        name="ms_ltrc",
+        n_rows=6_000,
+        n_numeric=136,
+        n_categorical=1,
+        n_classes=5,
+        planted_depth=6,
+        noise=0.25,
+        relevant_fraction=0.25,
+        seed=103,
+        tags=("wide",),
+    ),
+    "c14b": SyntheticSpec(
+        name="c14b",
+        n_rows=3_000,
+        n_numeric=200,  # paper: 700 columns; reduced with the row count
+        n_categorical=0,
+        n_classes=2,
+        planted_depth=6,
+        noise=0.2,
+        relevant_fraction=0.12,
+        seed=104,
+        tags=("wide",),
+    ),
+    "covtype": SyntheticSpec(
+        name="covtype",
+        n_rows=10_000,
+        n_numeric=54,
+        n_categorical=0,
+        n_classes=7,
+        planted_depth=8,
+        noise=0.04,
+        seed=105,
+    ),
+    "poker": SyntheticSpec(
+        name="poker",
+        n_rows=12_000,
+        n_numeric=0,
+        n_categorical=11,
+        n_classes=10,
+        categorical_cardinality=13,
+        planted_depth=7,
+        noise=0.3,
+        seed=106,
+        tags=("categorical",),
+    ),
+    "kdd99": SyntheticSpec(
+        name="kdd99",
+        n_rows=15_000,
+        n_numeric=38,
+        n_categorical=3,
+        n_classes=5,
+        planted_depth=7,
+        noise=0.1,
+        seed=107,
+    ),
+    "susy": SyntheticSpec(
+        name="susy",
+        n_rows=15_000,
+        n_numeric=18,
+        n_categorical=0,
+        n_classes=2,
+        planted_depth=8,
+        noise=0.15,
+        seed=108,
+    ),
+    "loan_m1": SyntheticSpec(
+        name="loan_m1",
+        n_rows=8_000,
+        n_numeric=14,
+        n_categorical=13,
+        n_classes=2,
+        planted_depth=5,
+        noise=0.003,
+        relevant_fraction=0.15,
+        redundancy=0.9,
+        seed=109,
+        tags=("loan",),
+    ),
+    "loan_y1": SyntheticSpec(
+        name="loan_y1",
+        n_rows=32_000,
+        n_numeric=14,
+        n_categorical=13,
+        n_classes=2,
+        planted_depth=5,
+        noise=0.003,
+        relevant_fraction=0.15,
+        redundancy=0.9,
+        seed=110,
+        tags=("loan",),
+    ),
+    "loan_y2": SyntheticSpec(
+        name="loan_y2",
+        n_rows=64_000,
+        n_numeric=14,
+        n_categorical=13,
+        n_classes=2,
+        planted_depth=5,
+        noise=0.003,
+        relevant_fraction=0.15,
+        redundancy=0.9,
+        seed=111,
+        tags=("loan",),
+    ),
+}
+
+#: Small variants for fast unit tests and quick benchmark smoke runs.
+SMALL: dict[str, SyntheticSpec] = {
+    name: SyntheticSpec(
+        name=f"{name}_small",
+        n_rows=max(400, spec.n_rows // 20),
+        n_numeric=min(spec.n_numeric, 12),
+        n_categorical=min(spec.n_categorical, 6),
+        problem=spec.problem,
+        n_classes=spec.n_classes,
+        categorical_cardinality=spec.categorical_cardinality,
+        planted_depth=min(spec.planted_depth, 5),
+        noise=spec.noise,
+        missing_rate=spec.missing_rate,
+        relevant_fraction=spec.relevant_fraction,
+        redundancy=spec.redundancy,
+        seed=spec.seed,
+        tags=spec.tags,
+    )
+    for name, spec in TABLE_I.items()
+}
+
+
+def dataset_spec(name: str, small: bool = False) -> SyntheticSpec:
+    """Look up a dataset recipe by paper name (case-insensitive)."""
+    key = name.lower()
+    pool = SMALL if small else TABLE_I
+    if key not in pool:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(TABLE_I)}"
+        )
+    return pool[key]
+
+
+def dataset_names() -> list[str]:
+    """All Table-I dataset names in the paper's order."""
+    return list(TABLE_I)

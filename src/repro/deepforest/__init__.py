@@ -1,0 +1,44 @@
+"""Deep forest on TreeServer: multi-grained scanning + cascade forest."""
+
+from .backend import LocalBackend, TrainedForest, TreeServerBackend
+from .cascade import CascadeConfig, CascadeForest, CascadeLayer, features_to_table
+from .mgs import (
+    MGSConfig,
+    MultiGrainedScanner,
+    n_window_positions,
+    sliding_windows,
+    windows_to_table,
+)
+from .model import DeepForest, DeepForestReport, StepRecord
+from .sequences import (
+    SequenceDataset,
+    SequenceMGSConfig,
+    SequenceScanner,
+    generate_sequences,
+    n_sequence_positions,
+    sliding_windows_1d,
+)
+
+__all__ = [
+    "CascadeConfig",
+    "CascadeForest",
+    "CascadeLayer",
+    "DeepForest",
+    "DeepForestReport",
+    "LocalBackend",
+    "MGSConfig",
+    "MultiGrainedScanner",
+    "SequenceDataset",
+    "SequenceMGSConfig",
+    "SequenceScanner",
+    "StepRecord",
+    "TrainedForest",
+    "TreeServerBackend",
+    "features_to_table",
+    "generate_sequences",
+    "n_sequence_positions",
+    "sliding_windows_1d",
+    "n_window_positions",
+    "sliding_windows",
+    "windows_to_table",
+]

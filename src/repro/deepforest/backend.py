@@ -1,0 +1,114 @@
+"""Forest-training backends for the deep forest pipeline.
+
+The paper trains every forest of a deep forest as a TreeServer job
+(Section VII).  This module abstracts that choice so the pipeline can run
+either:
+
+* :class:`TreeServerBackend` — each forest is a job on the simulated
+  cluster; returns paper-comparable simulated seconds (used by the
+  Table VII benchmark);
+* :class:`LocalBackend` — forests train with the serial builder and the
+  time is *estimated* from the same cost model (used by tests and the
+  quick example, where spinning the full protocol for dozens of forests
+  would be slow in real time).
+
+Both backends produce identical models for the same seeds (the engine's
+exactness invariant), so accuracy numbers do not depend on the backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cost import CostModel
+from ..core.builder import train_tree
+from ..core.config import SystemConfig, TreeConfig, TreeKind
+from ..core.jobs import extra_trees_job, random_forest_job
+from ..core.server import TreeServer
+from ..data.table import DataTable
+from ..ensemble.forest import ForestModel
+
+
+@dataclass
+class TrainedForest:
+    """A forest plus the (simulated) seconds its training took."""
+
+    forest: ForestModel
+    train_seconds: float
+
+
+class TreeServerBackend:
+    """Train each forest as a TreeServer job on the simulated cluster."""
+
+    def __init__(self, system: SystemConfig | None = None) -> None:
+        self.system = system or SystemConfig()
+
+    def train_forest(
+        self,
+        table: DataTable,
+        n_trees: int,
+        config: TreeConfig,
+        seed: int,
+    ) -> TrainedForest:
+        """One forest = one TreeServer job (thresholds scaled to the data)."""
+        system = self.system.scaled_to(table.n_rows)
+        if config.tree_kind is TreeKind.EXTRA:
+            job = extra_trees_job("forest", n_trees, config, seed=seed)
+        else:
+            job = random_forest_job("forest", n_trees, config, seed=seed)
+        report = TreeServer(system).fit(table, [job])
+        return TrainedForest(
+            forest=report.forest("forest"), train_seconds=report.sim_seconds
+        )
+
+
+class LocalBackend:
+    """Serial training with an analytic TreeServer-equivalent time estimate.
+
+    The estimate charges the dominant terms of the distributed run —
+    subtree/column compute spread over the cluster cores plus the data
+    movement of each tree's candidate columns — against the same constants,
+    so local-mode reports remain roughly comparable.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        cost: CostModel | None = None,
+    ) -> None:
+        self.system = system or SystemConfig()
+        self.cost = cost or CostModel(
+            ops_per_second=self.system.core_ops_per_second,
+            bandwidth_bytes_per_second=self.system.bandwidth_bytes_per_second,
+        )
+
+    def train_forest(
+        self,
+        table: DataTable,
+        n_trees: int,
+        config: TreeConfig,
+        seed: int,
+    ) -> TrainedForest:
+        """Train serially; estimate cluster time analytically."""
+        if config.tree_kind is TreeKind.EXTRA:
+            job = extra_trees_job("forest", n_trees, config, seed=seed)
+        else:
+            job = random_forest_job("forest", n_trees, config, seed=seed)
+        trees = []
+        total_ops = 0.0
+        total_bytes = 0.0
+        for request in job.stages[0].trees:
+            tree = train_tree(table, request.config)
+            trees.append(tree)
+            n_cols = request.config.n_candidate_columns(table.n_columns)
+            total_ops += self.cost.subtree_build_ops(table.n_rows, n_cols)
+            total_bytes += table.n_rows * n_cols * self.cost.value_bytes
+        cores = self.system.n_workers * self.system.compers_per_worker
+        compute = self.cost.compute_seconds(total_ops) / cores
+        transfer = total_bytes / (
+            self.cost.bandwidth_bytes_per_second * self.system.n_workers
+        )
+        return TrainedForest(
+            forest=ForestModel(trees),
+            train_seconds=max(compute, transfer),
+        )

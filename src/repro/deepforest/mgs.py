@@ -1,0 +1,196 @@
+"""Multi-grained scanning (MGS): sliding-window feature re-representation.
+
+The first phase of a deep forest (paper Fig. 11/12): windows of several
+sizes slide over each raw image; the window-sized vectors train forests,
+and each image is re-represented as the concatenation of the class-PMF
+vectors its windows produce across all forests.  A ``w x w`` window over an
+``s x s`` image at stride ``t`` yields ``((s - w) // t + 1)^2`` positions,
+so the re-representation "can easily have thousands of dimensions".
+
+The sliding extraction itself is a *row-parallel* job in TreeServer's
+deployment (images partitioned over machines' threads — the paper's first
+helper operation); :func:`sliding_ops` provides the analytic cost of that
+job for the Table VII ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import TreeConfig, TreeKind
+from ..data.schema import ColumnKind, ColumnSpec, ProblemKind, TableSchema
+from ..data.table import DataTable
+from ..datasets.mnist_like import ImageDataset
+from .backend import TrainedForest
+
+
+@dataclass(frozen=True)
+class MGSConfig:
+    """MGS hyperparameters (paper Table VII uses windows 3, 5, 7)."""
+
+    window_sizes: tuple[int, ...] = (3, 5, 7)
+    stride: int = 1
+    n_forests: int = 2
+    trees_per_forest: int = 20
+    max_depth: int | None = 10  # the paper found dmax=100 hurts; 10 is used
+    #: One forest kind per forest index; cycled.  The deep-forest paper uses
+    #: one random forest and one completely-random forest per grain.
+    forest_kinds: tuple[TreeKind, ...] = (TreeKind.DECISION, TreeKind.EXTRA)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.window_sizes:
+            raise ValueError("need at least one window size")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if self.n_forests < 1:
+            raise ValueError("need at least one forest per window size")
+
+
+def n_window_positions(side: int, window: int, stride: int) -> int:
+    """Positions per axis of a sliding window."""
+    if window > side:
+        raise ValueError(f"window {window} larger than image side {side}")
+    return (side - window) // stride + 1
+
+
+def sliding_windows(
+    images: np.ndarray, window: int, stride: int
+) -> np.ndarray:
+    """Extract all window vectors: shape ``(n, positions^2, window^2)``.
+
+    Vectorized via stride tricks; the returned array is a copy (windows are
+    reused as training rows).
+    """
+    n, side, _ = images.shape
+    positions = n_window_positions(side, window, stride)
+    s0, s1, s2 = images.strides
+    view = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, positions, positions, window, window),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+    return view.reshape(n, positions * positions, window * window).copy()
+
+
+def windows_to_table(
+    window_vectors: np.ndarray, labels: np.ndarray, n_classes: int
+) -> DataTable:
+    """Flatten per-image window vectors into one training table.
+
+    Every window inherits its image's label (the deep-forest training
+    convention); rows = ``n_images * n_positions``.
+    """
+    n, positions, dims = window_vectors.shape
+    flat = window_vectors.reshape(n * positions, dims)
+    schema = TableSchema(
+        tuple(ColumnSpec(f"px{i}", ColumnKind.NUMERIC) for i in range(dims)),
+        ColumnSpec("label", ColumnKind.CATEGORICAL,
+                   tuple(f"c{i}" for i in range(n_classes))),
+        ProblemKind.CLASSIFICATION,
+    )
+    return DataTable(
+        schema,
+        [np.ascontiguousarray(flat[:, i]) for i in range(dims)],
+        np.repeat(labels, positions).astype(np.int32),
+    )
+
+
+def sliding_ops(n_images: int, side: int, config: MGSConfig) -> float:
+    """Compute ops of the row-parallel window-sliding job (``slide`` step)."""
+    total = 0.0
+    for window in config.window_sizes:
+        positions = n_window_positions(side, window, config.stride) ** 2
+        total += n_images * positions * window * window
+    return total
+
+
+@dataclass
+class GrainModel:
+    """The trained forests of one window size."""
+
+    window: int
+    forests: list[TrainedForest] = field(default_factory=list)
+
+    @property
+    def train_seconds(self) -> float:
+        """Total (simulated) training seconds of this grain's forests."""
+        return sum(f.train_seconds for f in self.forests)
+
+
+class MultiGrainedScanner:
+    """Trains per-grain forests and re-represents images."""
+
+    def __init__(self, config: MGSConfig, backend) -> None:
+        self.config = config
+        self.backend = backend
+        self.grains: dict[int, GrainModel] = {}
+        self.n_classes = 0
+
+    # ------------------------------------------------------------------
+    # training ("winWtrain" steps of Table VII)
+    # ------------------------------------------------------------------
+    def fit_grain(self, window: int, data: ImageDataset) -> GrainModel:
+        """Train the forests of one window size."""
+        cfg = self.config
+        self.n_classes = data.n_classes
+        vectors = sliding_windows(data.images, window, cfg.stride)
+        table = windows_to_table(vectors, data.labels, data.n_classes)
+        grain = GrainModel(window=window)
+        for f in range(cfg.n_forests):
+            kind = cfg.forest_kinds[f % len(cfg.forest_kinds)]
+            tree_config = TreeConfig(
+                max_depth=cfg.max_depth,
+                tree_kind=kind,
+                seed=cfg.seed * 7919 + window * 101 + f,
+            )
+            grain.forests.append(
+                self.backend.train_forest(
+                    table,
+                    cfg.trees_per_forest,
+                    tree_config,
+                    seed=cfg.seed * 31 + window * 7 + f,
+                )
+            )
+        self.grains[window] = grain
+        return grain
+
+    def fit(self, data: ImageDataset) -> None:
+        """Train all grains."""
+        for window in self.config.window_sizes:
+            self.fit_grain(window, data)
+
+    # ------------------------------------------------------------------
+    # transformation ("winWextract" steps of Table VII)
+    # ------------------------------------------------------------------
+    def transform_grain(self, window: int, data: ImageDataset) -> np.ndarray:
+        """Re-represent images with one grain's forests.
+
+        Output shape: ``(n_images, positions^2 * n_forests * n_classes)``.
+        """
+        grain = self.grains.get(window)
+        if grain is None:
+            raise ValueError(f"grain {window} not fitted")
+        vectors = sliding_windows(data.images, window, self.config.stride)
+        n, positions, _ = vectors.shape
+        table = windows_to_table(
+            vectors, np.zeros(n, dtype=np.int64), self.n_classes
+        )
+        parts = []
+        for trained in grain.forests:
+            pmf = trained.forest.predict_proba(table)
+            parts.append(pmf.reshape(n, positions * self.n_classes))
+        return np.concatenate(parts, axis=1)
+
+    def transform_ops(self, window: int, n_images: int, side: int) -> float:
+        """Analytic cost of the row-parallel re-representation job."""
+        grain = self.grains[window]
+        positions = n_window_positions(side, window, self.config.stride) ** 2
+        traversals = 0.0
+        for trained in grain.forests:
+            for tree in trained.forest.trees:
+                traversals += max(1, tree.depth)
+        return n_images * positions * traversals

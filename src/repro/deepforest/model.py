@@ -1,0 +1,174 @@
+"""End-to-end deep forest on TreeServer — the paper's Section VII pipeline.
+
+Reproduces the whole workflow of Table VII, step by step, with per-step
+timing:
+
+* ``slide`` — row-parallel window extraction over images;
+* ``winWtrain`` — TreeServer jobs training the MGS forests of window ``W``;
+* ``winWextract`` — row-parallel re-representation through those forests;
+* ``CFitrain`` / ``CFiextract`` — cascade layer training and feature
+  extraction, with test accuracy reported after every layer.
+
+Training (forest fitting) timing comes from the configured backend
+(simulated TreeServer seconds); the row-parallel helper jobs are charged
+analytically against the same cost constants, since they are embarrassingly
+parallel scans (the paper's two helper operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.cost import CostModel
+from ..core.config import SystemConfig
+from ..datasets.mnist_like import ImageDataset
+from ..evaluation.metrics import accuracy
+from .backend import LocalBackend
+from .cascade import CascadeConfig, CascadeForest
+from .mgs import MGSConfig, MultiGrainedScanner, sliding_ops
+
+
+@dataclass
+class StepRecord:
+    """One row of the Table VII-style report."""
+
+    step: str
+    train_seconds: float
+    test_seconds: float | None = None
+    test_accuracy: float | None = None
+
+
+@dataclass
+class DeepForestReport:
+    """Per-step timings and accuracies of one deep-forest build."""
+
+    steps: list[StepRecord] = field(default_factory=list)
+
+    def step(self, name: str) -> StepRecord:
+        """Look up a step by name."""
+        for record in self.steps:
+            if record.step == name:
+                return record
+        raise KeyError(name)
+
+    def final_accuracy(self) -> float:
+        """Test accuracy after the last cascade layer."""
+        cf_steps = [s for s in self.steps if s.test_accuracy is not None]
+        if not cf_steps:
+            raise RuntimeError("no cascade accuracy recorded")
+        return cf_steps[-1].test_accuracy  # type: ignore[return-value]
+
+
+class DeepForest:
+    """Multi-grained scanning + cascade forest, trained step by step."""
+
+    def __init__(
+        self,
+        mgs_config: MGSConfig | None = None,
+        cascade_config: CascadeConfig | None = None,
+        backend=None,
+        system: SystemConfig | None = None,
+    ) -> None:
+        self.system = system or SystemConfig()
+        self.backend = backend or LocalBackend(self.system)
+        self.mgs = MultiGrainedScanner(mgs_config or MGSConfig(), self.backend)
+        self.cascade = CascadeForest(
+            cascade_config or CascadeConfig(), self.backend
+        )
+        self.cost = CostModel(
+            ops_per_second=self.system.core_ops_per_second,
+            bandwidth_bytes_per_second=self.system.bandwidth_bytes_per_second,
+        )
+
+    # ------------------------------------------------------------------
+    def _row_parallel_seconds(self, ops: float) -> float:
+        """Analytic time of an embarrassingly parallel per-image job."""
+        cores = self.system.n_workers * self.system.compers_per_worker
+        return self.cost.compute_seconds(ops) / cores
+
+    def fit_report(
+        self, train: ImageDataset, test: ImageDataset
+    ) -> DeepForestReport:
+        """Train on ``train``, measuring every Table VII step on ``test``."""
+        report = DeepForestReport()
+        side = train.side
+
+        # Step: slide (window extraction over train; test timed separately).
+        slide_train = self._row_parallel_seconds(
+            sliding_ops(train.n_images, side, self.mgs.config)
+        )
+        slide_test = self._row_parallel_seconds(
+            sliding_ops(test.n_images, side, self.mgs.config)
+        )
+        report.steps.append(StepRecord("slide", slide_train, slide_test))
+
+        # Steps: winWtrain / winWextract per window size.
+        train_grain_features: dict[int, np.ndarray] = {}
+        test_grain_features: dict[int, np.ndarray] = {}
+        for window in self.mgs.config.window_sizes:
+            grain = self.mgs.fit_grain(window, train)
+            report.steps.append(
+                StepRecord(f"win{window}train", grain.train_seconds)
+            )
+            train_grain_features[window] = self.mgs.transform_grain(
+                window, train
+            )
+            test_grain_features[window] = self.mgs.transform_grain(window, test)
+            extract_train = self._row_parallel_seconds(
+                self.mgs.transform_ops(window, train.n_images, side)
+            )
+            extract_test = self._row_parallel_seconds(
+                self.mgs.transform_ops(window, test.n_images, side)
+            )
+            report.steps.append(
+                StepRecord(f"win{window}extract", extract_train, extract_test)
+            )
+
+        # Steps: cascade layers.
+        previous: np.ndarray | None = None
+        for layer_index in range(self.cascade.config.n_layers):
+            layer, previous = self.cascade.fit_layer(
+                layer_index,
+                train_grain_features,
+                train.labels,
+                train.n_classes,
+                previous,
+            )
+            report.steps.append(
+                StepRecord(f"CF{layer_index}train", layer.train_seconds)
+            )
+            # Extract step: re-represent + report test accuracy so far.
+            per_layer = self.cascade.predict_proba_per_layer(
+                test_grain_features
+            )
+            acc = accuracy(test.labels, np.argmax(per_layer[-1], axis=1))
+            extract_ops = self._layer_traversal_ops(layer, train.n_images)
+            extract_test_ops = self._layer_traversal_ops(layer, test.n_images)
+            report.steps.append(
+                StepRecord(
+                    f"CF{layer_index}extract",
+                    self._row_parallel_seconds(extract_ops),
+                    self._row_parallel_seconds(extract_test_ops),
+                    test_accuracy=acc,
+                )
+            )
+        return report
+
+    @staticmethod
+    def _layer_traversal_ops(layer, n_images: int) -> float:
+        traversals = 0.0
+        for trained in layer.forests:
+            for tree in trained.forest.trees:
+                traversals += max(1, tree.depth)
+        return n_images * traversals
+
+    # ------------------------------------------------------------------
+    def predict(self, images: ImageDataset) -> np.ndarray:
+        """Classify images with the trained pipeline."""
+        grain_features = {
+            window: self.mgs.transform_grain(window, images)
+            for window in self.mgs.config.window_sizes
+        }
+        return self.cascade.predict(grain_features)

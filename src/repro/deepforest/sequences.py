@@ -1,0 +1,174 @@
+"""Multi-grained scanning over 1-D sequences.
+
+The deep-forest design (Zhou & Feng 2017, the paper's [37]) applies
+multi-grained scanning to sequence data with the same mechanism as images:
+windows of several lengths slide along the sequence, window vectors train
+forests, and each sequence is re-represented by the concatenated class-PMF
+outputs.  The TreeServer paper's case study uses images only; this module
+is the natural sequence-data extension, sharing the tabular machinery of
+:mod:`repro.deepforest.mgs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import TreeConfig, TreeKind
+from .backend import TrainedForest
+from .mgs import windows_to_table
+
+
+@dataclass
+class SequenceDataset:
+    """A batch of equal-length 1-D sequences with integer class labels."""
+
+    sequences: np.ndarray  # (n, length)
+    labels: np.ndarray  # (n,)
+    n_classes: int
+
+    def __post_init__(self) -> None:
+        if self.sequences.ndim != 2:
+            raise ValueError("sequences must be (n, length)")
+        if len(self.labels) != len(self.sequences):
+            raise ValueError("labels/sequences length mismatch")
+
+    @property
+    def n_sequences(self) -> int:
+        """Number of sequences."""
+        return len(self.sequences)
+
+    @property
+    def length(self) -> int:
+        """Sequence length."""
+        return self.sequences.shape[1]
+
+
+def n_sequence_positions(length: int, window: int, stride: int) -> int:
+    """Window positions along a sequence."""
+    if window > length:
+        raise ValueError(f"window {window} longer than sequence {length}")
+    return (length - window) // stride + 1
+
+
+def sliding_windows_1d(
+    sequences: np.ndarray, window: int, stride: int
+) -> np.ndarray:
+    """All window vectors: shape ``(n, positions, window)`` (a copy)."""
+    n, length = sequences.shape
+    positions = n_sequence_positions(length, window, stride)
+    s0, s1 = sequences.strides
+    view = np.lib.stride_tricks.as_strided(
+        sequences,
+        shape=(n, positions, window),
+        strides=(s0, s1 * stride, s1),
+        writeable=False,
+    )
+    return view.copy()
+
+
+@dataclass(frozen=True)
+class SequenceMGSConfig:
+    """MGS hyperparameters for sequence data."""
+
+    window_sizes: tuple[int, ...] = (4, 8)
+    stride: int = 1
+    n_forests: int = 2
+    trees_per_forest: int = 10
+    max_depth: int | None = 10
+    forest_kinds: tuple[TreeKind, ...] = (TreeKind.DECISION, TreeKind.EXTRA)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.window_sizes:
+            raise ValueError("need at least one window size")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+
+
+@dataclass
+class SequenceGrain:
+    """Trained forests of one window length."""
+
+    window: int
+    forests: list[TrainedForest] = field(default_factory=list)
+
+
+class SequenceScanner:
+    """Trains per-grain forests over sequence windows; re-represents."""
+
+    def __init__(self, config: SequenceMGSConfig, backend) -> None:
+        self.config = config
+        self.backend = backend
+        self.grains: dict[int, SequenceGrain] = {}
+        self.n_classes = 0
+
+    def fit(self, data: SequenceDataset) -> None:
+        """Train the forests of every window length."""
+        cfg = self.config
+        self.n_classes = data.n_classes
+        for window in cfg.window_sizes:
+            vectors = sliding_windows_1d(data.sequences, window, cfg.stride)
+            table = windows_to_table(vectors, data.labels, data.n_classes)
+            grain = SequenceGrain(window=window)
+            for f in range(cfg.n_forests):
+                kind = cfg.forest_kinds[f % len(cfg.forest_kinds)]
+                tree_config = TreeConfig(
+                    max_depth=cfg.max_depth,
+                    tree_kind=kind,
+                    seed=cfg.seed * 6151 + window * 13 + f,
+                )
+                grain.forests.append(
+                    self.backend.train_forest(
+                        table,
+                        cfg.trees_per_forest,
+                        tree_config,
+                        seed=cfg.seed * 17 + window * 3 + f,
+                    )
+                )
+            self.grains[window] = grain
+
+    def transform(self, data: SequenceDataset) -> np.ndarray:
+        """Concatenated PMF re-representation across all grains."""
+        if not self.grains:
+            raise RuntimeError("scanner not fitted")
+        parts = []
+        for window in self.config.window_sizes:
+            grain = self.grains[window]
+            vectors = sliding_windows_1d(
+                data.sequences, window, self.config.stride
+            )
+            n, positions, _ = vectors.shape
+            table = windows_to_table(
+                vectors, np.zeros(n, dtype=np.int64), self.n_classes
+            )
+            for trained in grain.forests:
+                pmf = trained.forest.predict_proba(table)
+                parts.append(pmf.reshape(n, positions * self.n_classes))
+        return np.concatenate(parts, axis=1)
+
+
+def generate_sequences(
+    n_sequences: int,
+    length: int = 32,
+    n_classes: int = 4,
+    noise: float = 0.2,
+    seed: int = 7,
+) -> SequenceDataset:
+    """Synthetic labelled sequences with class-specific local motifs.
+
+    Each class plants a short characteristic motif at a class-dependent
+    region — exactly the local structure sliding windows detect.
+    """
+    rng = np.random.default_rng(seed)
+    sequences = rng.normal(0.0, noise, size=(n_sequences, length))
+    labels = (np.arange(n_sequences) % n_classes).astype(np.int64)
+    rng.shuffle(labels)
+    motif_len = 5
+    for i in range(n_sequences):
+        cls = int(labels[i])
+        start = (cls * 7 + int(rng.integers(0, 3))) % (length - motif_len)
+        motif = np.sin(np.linspace(0, np.pi * (1 + cls), motif_len)) * 2.0
+        sequences[i, start : start + motif_len] += motif
+    return SequenceDataset(sequences, labels, n_classes)

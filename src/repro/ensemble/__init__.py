@@ -1,0 +1,13 @@
+"""Tree ensembles: forests with PMF-averaging prediction and
+TreeServer-trained gradient boosting."""
+
+from .boosting import GBDTConfig, GBDTModel, GBDTReport, TreeServerGBDT
+from .forest import ForestModel
+
+__all__ = [
+    "ForestModel",
+    "GBDTConfig",
+    "GBDTModel",
+    "GBDTReport",
+    "TreeServerGBDT",
+]

@@ -1,0 +1,44 @@
+"""Test-set metrics used throughout the paper's evaluation.
+
+The paper reports *accuracy* for classification datasets and *RMSE* for the
+one regression dataset (Allstate) — Table II's caption.  Deep forest layers
+additionally report per-layer test accuracy from averaged PMF vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return float((y_true == y_pred).mean())
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def pmf_accuracy(y_true: np.ndarray, pmf: np.ndarray) -> float:
+    """Accuracy of argmax predictions from a ``(n, k)`` PMF matrix."""
+    return accuracy(y_true, np.argmax(pmf, axis=1))
+
+
+def score(problem_is_classification: bool, y_true, y_pred) -> float:
+    """Paper-style single score: accuracy for classification, RMSE else."""
+    if problem_is_classification:
+        return accuracy(y_true, y_pred)
+    return rmse(y_true, y_pred)

@@ -1,0 +1,173 @@
+"""Model selection on TreeServer: many configurations, one cluster run.
+
+The paper motivates the tree pool with exactly this workload: "in reality,
+we often need to train many tree models with different hyperparameters for
+model selection ... T-thinker trains all these trees together so that we
+can have more node-centric tasks to keep CPUs busy" (Section III).
+
+:func:`grid_search` submits every candidate configuration as a job in a
+*single* ``TreeServer.fit`` call — all candidates' node-centric tasks mix
+in the same pool — then scores each candidate on a held-out validation
+split and returns the winner, together with the run's simulated time for
+comparison against training the candidates one by one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..core.config import SystemConfig, TreeConfig
+from ..core.jobs import TrainingJob, decision_tree_job, random_forest_job
+from ..core.server import TreeServer
+from ..data.schema import ProblemKind
+from ..data.table import DataTable
+from .metrics import accuracy, rmse
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One hyperparameter combination under evaluation."""
+
+    name: str
+    config: TreeConfig
+    n_trees: int = 1
+
+
+@dataclass
+class CandidateResult:
+    """Validation outcome of one candidate."""
+
+    candidate: Candidate
+    quality: float
+    quality_metric: str
+
+    def better_than(self, other: "CandidateResult") -> bool:
+        """Quality comparison respecting the metric's direction."""
+        if self.quality_metric == "rmse":
+            return self.quality < other.quality
+        return self.quality > other.quality
+
+
+@dataclass
+class GridSearchResult:
+    """Everything a grid search produced."""
+
+    best: CandidateResult
+    results: list[CandidateResult]
+    sim_seconds: float
+    sequential_sim_seconds: float = 0.0
+    models: dict[str, Any] = field(default_factory=dict)
+
+    def ranking(self) -> list[CandidateResult]:
+        """Candidates from best to worst."""
+        reverse = self.results[0].quality_metric != "rmse"
+        return sorted(self.results, key=lambda r: r.quality, reverse=reverse)
+
+
+def expand_grid(
+    base: TreeConfig, grid: dict[str, list], n_trees: int = 1
+) -> list[Candidate]:
+    """Cartesian expansion of a parameter grid over :class:`TreeConfig`.
+
+    ``grid`` maps TreeConfig field names to candidate values, e.g.
+    ``{"max_depth": [4, 8, 12], "tau_leaf": [1, 16]}``.
+    """
+    if not grid:
+        raise ValueError("empty parameter grid")
+    names = sorted(grid)
+    candidates = []
+    for values in itertools.product(*(grid[n] for n in names)):
+        overrides = dict(zip(names, values))
+        label = ",".join(f"{k}={v}" for k, v in overrides.items())
+        candidates.append(
+            Candidate(
+                name=label,
+                config=replace(base, **overrides),
+                n_trees=n_trees,
+            )
+        )
+    return candidates
+
+
+def grid_search(
+    table: DataTable,
+    candidates: list[Candidate],
+    system: SystemConfig | None = None,
+    validation_fraction: float = 0.25,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Train all candidates in one TreeServer run; pick the best.
+
+    The validation split is carved off deterministically; every candidate
+    trains on the same training fold.
+    """
+    if not candidates:
+        raise ValueError("no candidates")
+    names = [c.name for c in candidates]
+    if len(set(names)) != len(names):
+        raise ValueError("candidate names must be unique")
+    train, valid = table.split_train_test(validation_fraction, seed=seed)
+    sys_cfg = (system or SystemConfig()).scaled_to(train.n_rows)
+
+    jobs: list[TrainingJob] = []
+    for candidate in candidates:
+        if candidate.n_trees == 1:
+            jobs.append(decision_tree_job(candidate.name, candidate.config))
+        else:
+            jobs.append(
+                random_forest_job(
+                    candidate.name,
+                    candidate.n_trees,
+                    candidate.config,
+                    seed=seed,
+                )
+            )
+    report = TreeServer(sys_cfg).fit(train, jobs)
+
+    results: list[CandidateResult] = []
+    models: dict[str, Any] = {}
+    for candidate in candidates:
+        model = (
+            report.forest(candidate.name)
+            if candidate.n_trees > 1
+            else report.tree(candidate.name)
+        )
+        models[candidate.name] = model
+        predictions = model.predict(valid)
+        if table.problem is ProblemKind.CLASSIFICATION:
+            result = CandidateResult(
+                candidate, accuracy(valid.target, predictions), "accuracy"
+            )
+        else:
+            result = CandidateResult(
+                candidate, rmse(valid.target, predictions), "rmse"
+            )
+        results.append(result)
+
+    best = results[0]
+    for result in results[1:]:
+        if result.better_than(best):
+            best = result
+
+    # For the pooling-benefit comparison: the same candidates trained one
+    # per run (each run still parallel, but candidates not pooled).
+    sequential = 0.0
+    for candidate in candidates:
+        if candidate.n_trees == 1:
+            job = decision_tree_job(candidate.name, candidate.config)
+        else:
+            job = random_forest_job(
+                candidate.name, candidate.n_trees, candidate.config, seed=seed
+            )
+        solo = TreeServer(sys_cfg).fit(train, [job])
+        sequential += solo.sim_seconds
+
+    return GridSearchResult(
+        best=best,
+        results=results,
+        sim_seconds=report.sim_seconds,
+        sequential_sim_seconds=sequential,
+        models=models,
+    )

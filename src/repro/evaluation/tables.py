@@ -1,0 +1,82 @@
+"""Paper-style table rendering for benchmark output.
+
+Each benchmark prints a table shaped like its counterpart in the paper's
+Section VIII (same rows, same column meanings), so a reader can put them
+side by side.  Values are simulated seconds and real model quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .harness import ExperimentRow
+
+
+def format_table(
+    title: str, headers: list[str], rows: list[list[str]]
+) -> str:
+    """Monospace table with a title rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(h for h in headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonTable:
+    """Accumulates rows of a Table II-style system comparison."""
+
+    title: str
+    systems: list[str]
+    rows: dict[str, dict[str, ExperimentRow]] = field(default_factory=dict)
+
+    def add(self, row: ExperimentRow) -> None:
+        """Record one measurement."""
+        self.rows.setdefault(row.dataset, {})[row.system] = row
+
+    def render(self) -> str:
+        """Paper-style layout: dataset | per-system (time, quality)."""
+        headers = ["Dataset"]
+        for system in self.systems:
+            headers += [f"{system} time(s)", f"{system} quality"]
+        body = []
+        for dataset, by_system in self.rows.items():
+            line = [dataset]
+            for system in self.systems:
+                row = by_system.get(system)
+                if row is None:
+                    line += ["-", "-"]
+                else:
+                    line += [f"{row.sim_seconds:.2f}", row.quality_str()]
+            body.append(line)
+        return format_table(self.title, headers, body)
+
+    def speedup(self, dataset: str, base: str, other: str) -> float:
+        """``other`` time divided by ``base`` time for one dataset."""
+        by_system = self.rows[dataset]
+        return by_system[other].sim_seconds / by_system[base].sim_seconds
+
+
+def sweep_table(
+    title: str,
+    param_name: str,
+    results: list[tuple[object, ExperimentRow]],
+    extra_columns: dict[str, list[str]] | None = None,
+) -> str:
+    """Render a parameter-sweep table (Tables III/IV/V/VIII style)."""
+    headers = [param_name, "time(s)", "quality"]
+    extras = extra_columns or {}
+    headers += list(extras)
+    body = []
+    for i, (value, row) in enumerate(results):
+        line = [str(value), f"{row.sim_seconds:.2f}", row.quality_str()]
+        for name in extras:
+            line.append(extras[name][i])
+        body.append(line)
+    return format_table(title, headers, body)

@@ -1,0 +1,16 @@
+"""Simulated HDFS with the paper's Fig. 13 column-group x row-group layout."""
+
+from .filesystem import HdfsError, HdfsReader, HdfsStats, HdfsWriter, SimHdfs
+from .layout import LayoutConfig, TableLayout
+from .put import put_csv
+
+__all__ = [
+    "HdfsError",
+    "HdfsReader",
+    "HdfsStats",
+    "HdfsWriter",
+    "LayoutConfig",
+    "SimHdfs",
+    "TableLayout",
+    "put_csv",
+]

@@ -1,0 +1,141 @@
+"""In-process simulated distributed file system.
+
+TreeServer is "fully compatible with the Hadoop ecosystem and loads data in
+parallel from HDFS" (paper Section I).  Offline we simulate the DFS: a
+namenode directory of path -> file bytes, with explicit *connection*
+accounting — because the paper's data-organization design (Fig. 13) exists
+precisely to amortize HDFS connection setup cost, which dominated their
+tests when thousands of per-column files were read ("HDFS connection time
+rather than actual data reads dominates").
+
+Readers and writers are stream-like to mirror the real API; the byte and
+connection counters feed the column-grouping ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class HdfsError(RuntimeError):
+    """Filesystem-level failure (missing path, double create, ...)."""
+
+
+@dataclass
+class HdfsStats:
+    """IO counters for cost accounting."""
+
+    connections_opened: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    files_created: int = 0
+
+
+@dataclass
+class _File:
+    chunks: list[bytes] = field(default_factory=list)
+    closed: bool = False
+
+    def data(self) -> bytes:
+        if len(self.chunks) != 1:
+            self.chunks = [b"".join(self.chunks)]
+        return self.chunks[0]
+
+
+class HdfsWriter:
+    """Append-only output stream (one per file, as in HDFS)."""
+
+    def __init__(self, fs: "SimHdfs", path: str, entry: _File) -> None:
+        self._fs = fs
+        self._path = path
+        self._entry = entry
+
+    def write(self, data: bytes) -> None:
+        """Append bytes to the file."""
+        if self._entry.closed:
+            raise HdfsError(f"writing to closed file {self._path!r}")
+        self._entry.chunks.append(bytes(data))
+        self._fs.stats.bytes_written += len(data)
+
+    def close(self) -> None:
+        """Finalize the file (idempotent)."""
+        self._entry.closed = True
+
+    def __enter__(self) -> "HdfsWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class HdfsReader:
+    """Whole-file reader; opening one counts as a connection."""
+
+    def __init__(self, fs: "SimHdfs", path: str, entry: _File) -> None:
+        self._fs = fs
+        self._path = path
+        self._entry = entry
+
+    def read(self) -> bytes:
+        """Read the entire file contents."""
+        data = self._entry.data()
+        self._fs.stats.bytes_read += len(data)
+        return data
+
+    def __enter__(self) -> "HdfsReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class SimHdfs:
+    """The simulated namenode + datanode store."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, _File] = {}
+        self.stats = HdfsStats()
+
+    def create(self, path: str, overwrite: bool = False) -> HdfsWriter:
+        """Create a file for writing."""
+        if path in self._files and not overwrite:
+            raise HdfsError(f"path exists: {path!r}")
+        entry = _File()
+        self._files[path] = entry
+        self.stats.files_created += 1
+        self.stats.connections_opened += 1
+        return HdfsWriter(self, path, entry)
+
+    def open(self, path: str) -> HdfsReader:
+        """Open a file for reading (counts one connection)."""
+        entry = self._files.get(path)
+        if entry is None:
+            raise HdfsError(f"no such file: {path!r}")
+        self.stats.connections_opened += 1
+        return HdfsReader(self, path, entry)
+
+    def exists(self, path: str) -> bool:
+        """Whether a file exists."""
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        """Remove a file."""
+        if path not in self._files:
+            raise HdfsError(f"no such file: {path!r}")
+        del self._files[path]
+
+    def listdir(self, prefix: str) -> list[str]:
+        """All paths under a prefix, sorted."""
+        prefix = prefix.rstrip("/") + "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def file_size(self, path: str) -> int:
+        """Size in bytes of a file."""
+        entry = self._files.get(path)
+        if entry is None:
+            raise HdfsError(f"no such file: {path!r}")
+        return len(entry.data())
+
+    def reset_stats(self) -> None:
+        """Zero the IO counters (between measurement phases)."""
+        self.stats = HdfsStats()

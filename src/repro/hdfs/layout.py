@@ -1,0 +1,278 @@
+"""Column-group x row-group data organization on (simulated) HDFS — Fig. 13.
+
+TreeServer needs whole columns (its training partition scheme) while the
+deep-forest helper jobs need row partitions (window-sliding extraction and
+forest re-representation partition images by rows).  The paper's solution:
+organize the table as a grid of files — columns grouped into column-groups,
+rows into row-groups, one file per grid cell — so either access pattern
+reads few, large files and amortizes the DFS connection cost.
+
+A TreeServer worker loads a column-group by reading the files of one grid
+*column*; a row-parallel job loads its row partition by reading the files of
+one grid *row*.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import ColumnKind, ColumnSpec, ProblemKind, TableSchema
+from ..data.table import DataTable
+from .filesystem import SimHdfs
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Grid granularity (the Fig. 13 example uses 50 columns x 250 rows)."""
+
+    columns_per_group: int = 50
+    rows_per_group: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.columns_per_group < 1 or self.rows_per_group < 1:
+            raise ValueError("group sizes must be positive")
+
+
+def _schema_to_json(schema: TableSchema, n_rows: int, config: LayoutConfig) -> str:
+    return json.dumps(
+        {
+            "problem": schema.problem.value,
+            "n_rows": n_rows,
+            "columns_per_group": config.columns_per_group,
+            "rows_per_group": config.rows_per_group,
+            "columns": [
+                {
+                    "name": c.name,
+                    "kind": c.kind.value,
+                    "categories": list(c.categories),
+                }
+                for c in schema.columns
+            ],
+            "target": {
+                "name": schema.target.name,
+                "kind": schema.target.kind.value,
+                "categories": list(schema.target.categories),
+            },
+        }
+    )
+
+
+def _spec_from_json(data: dict) -> ColumnSpec:
+    return ColumnSpec(
+        data["name"], ColumnKind(data["kind"]), tuple(data["categories"])
+    )
+
+
+def _encode(spec: ColumnSpec, arr: np.ndarray) -> bytes:
+    dtype = np.float64 if spec.kind is ColumnKind.NUMERIC else np.int32
+    return np.ascontiguousarray(arr, dtype=dtype).tobytes()
+
+
+def _decode(spec: ColumnSpec, data: bytes) -> np.ndarray:
+    dtype = np.float64 if spec.kind is ColumnKind.NUMERIC else np.int32
+    return np.frombuffer(data, dtype=dtype).copy()
+
+
+class TableLayout:
+    """Reader/writer for one table stored in the grid layout."""
+
+    SCHEMA_FILE = "_schema.json"
+    TARGET_PREFIX = "target"
+
+    def __init__(
+        self, fs: SimHdfs, base_path: str, config: LayoutConfig | None = None
+    ) -> None:
+        self.fs = fs
+        self.base = base_path.rstrip("/")
+        self.config = config or LayoutConfig()
+        self._schema: TableSchema | None = None
+        self._n_rows: int | None = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def save(self, table: DataTable) -> None:
+        """Write a table as schema + grid cell files + target row-groups."""
+        cfg = self.config
+        with self.fs.create(f"{self.base}/{self.SCHEMA_FILE}", overwrite=True) as w:
+            w.write(_schema_to_json(table.schema, table.n_rows, cfg).encode())
+        n_col_groups = self.n_column_groups(table.n_columns)
+        n_row_groups = self.n_row_groups(table.n_rows)
+        for cg in range(n_col_groups):
+            cols = self.columns_of_group(cg, table.n_columns)
+            for rg in range(n_row_groups):
+                lo, hi = self.row_range(rg, table.n_rows)
+                with self.fs.create(self.cell_path(cg, rg), overwrite=True) as w:
+                    for col in cols:
+                        spec = table.column_spec(col)
+                        w.write(_encode(spec, table.column(col)[lo:hi]))
+        # The target column Y is stored separately (replicated to every
+        # worker at load time) in row-group files.
+        for rg in range(n_row_groups):
+            lo, hi = self.row_range(rg, table.n_rows)
+            path = f"{self.base}/{self.TARGET_PREFIX}/rg{rg}"
+            with self.fs.create(path, overwrite=True) as w:
+                w.write(_encode(table.schema.target, table.target[lo:hi]))
+        self._schema = table.schema
+        self._n_rows = table.n_rows
+
+    # ------------------------------------------------------------------
+    # grid arithmetic
+    # ------------------------------------------------------------------
+    def n_column_groups(self, n_columns: int) -> int:
+        """Number of grid columns."""
+        return max(1, math.ceil(n_columns / self.config.columns_per_group))
+
+    def n_row_groups(self, n_rows: int) -> int:
+        """Number of grid rows."""
+        return max(1, math.ceil(n_rows / self.config.rows_per_group))
+
+    def columns_of_group(self, group: int, n_columns: int) -> list[int]:
+        """Column indices inside one column-group."""
+        lo = group * self.config.columns_per_group
+        hi = min(n_columns, lo + self.config.columns_per_group)
+        if lo >= n_columns:
+            raise ValueError(f"column group {group} out of range")
+        return list(range(lo, hi))
+
+    def row_range(self, group: int, n_rows: int) -> tuple[int, int]:
+        """Half-open row range of one row-group."""
+        lo = group * self.config.rows_per_group
+        hi = min(n_rows, lo + self.config.rows_per_group)
+        if lo >= n_rows:
+            raise ValueError(f"row group {group} out of range")
+        return lo, hi
+
+    def cell_path(self, col_group: int, row_group: int) -> str:
+        """Path of one grid cell file."""
+        return f"{self.base}/cg{col_group}/rg{row_group}"
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def schema(self) -> TableSchema:
+        """Read (and cache) the stored schema."""
+        if self._schema is None:
+            with self.fs.open(f"{self.base}/{self.SCHEMA_FILE}") as r:
+                data = json.loads(r.read().decode())
+            self._schema = TableSchema(
+                tuple(_spec_from_json(c) for c in data["columns"]),
+                _spec_from_json(data["target"]),
+                ProblemKind(data["problem"]),
+            )
+            self._n_rows = int(data["n_rows"])
+            self.config = LayoutConfig(
+                columns_per_group=int(data["columns_per_group"]),
+                rows_per_group=int(data["rows_per_group"]),
+            )
+        return self._schema
+
+    def n_rows(self) -> int:
+        """Stored row count."""
+        self.schema()
+        assert self._n_rows is not None
+        return self._n_rows
+
+    def load_column_group(self, group: int) -> dict[int, np.ndarray]:
+        """Read whole columns of one column-group (a TreeServer worker's
+        load path: one file per row-group, few and large)."""
+        schema = self.schema()
+        n_rows = self.n_rows()
+        cols = self.columns_of_group(group, schema.n_columns)
+        parts: dict[int, list[np.ndarray]] = {c: [] for c in cols}
+        for rg in range(self.n_row_groups(n_rows)):
+            lo, hi = self.row_range(rg, n_rows)
+            with self.fs.open(self.cell_path(group, rg)) as r:
+                blob = r.read()
+            offset = 0
+            for col in cols:
+                spec = schema.columns[col]
+                width = 8 if spec.kind is ColumnKind.NUMERIC else 4
+                size = (hi - lo) * width
+                parts[col].append(_decode(spec, blob[offset : offset + size]))
+                offset += size
+        return {c: np.concatenate(parts[c]) for c in cols}
+
+    def load_target(self) -> np.ndarray:
+        """Read the full Y column (replicated to every worker)."""
+        schema = self.schema()
+        n_rows = self.n_rows()
+        parts = []
+        for rg in range(self.n_row_groups(n_rows)):
+            path = f"{self.base}/{self.TARGET_PREFIX}/rg{rg}"
+            with self.fs.open(path) as r:
+                parts.append(_decode(schema.target, r.read()))
+        return np.concatenate(parts)
+
+    def load_row_group(self, group: int) -> DataTable:
+        """Read one row partition (the deep-forest helpers' load path: one
+        file per column-group, few and large)."""
+        schema = self.schema()
+        n_rows = self.n_rows()
+        lo, hi = self.row_range(group, n_rows)
+        columns: list[np.ndarray | None] = [None] * schema.n_columns
+        for cg in range(self.n_column_groups(schema.n_columns)):
+            cols = self.columns_of_group(cg, schema.n_columns)
+            with self.fs.open(self.cell_path(cg, group)) as r:
+                blob = r.read()
+            offset = 0
+            for col in cols:
+                spec = schema.columns[col]
+                width = 8 if spec.kind is ColumnKind.NUMERIC else 4
+                size = (hi - lo) * width
+                columns[col] = _decode(spec, blob[offset : offset + size])
+                offset += size
+        path = f"{self.base}/{self.TARGET_PREFIX}/rg{group}"
+        with self.fs.open(path) as r:
+            target = _decode(schema.target, r.read())
+        assert all(c is not None for c in columns)
+        return DataTable(schema, [c for c in columns if c is not None], target)
+
+    def load_table(self) -> DataTable:
+        """Read the whole table back (round-trip tests, small data)."""
+        schema = self.schema()
+        columns: dict[int, np.ndarray] = {}
+        for cg in range(self.n_column_groups(schema.n_columns)):
+            columns.update(self.load_column_group(cg))
+        target = self.load_target()
+        return DataTable(
+            schema, [columns[i] for i in range(schema.n_columns)], target
+        )
+
+    def estimated_load_seconds(
+        self,
+        connection_seconds: float,
+        bandwidth_bytes_per_second: float,
+        column_groups: list[int] | None = None,
+    ) -> float:
+        """Analytic worker load time: connections + bytes (ablation bench).
+
+        This is the quantity the Fig. 13 design optimizes: fewer, larger
+        files mean fewer connection setups for the same bytes.
+        """
+        schema = self.schema()
+        n_rows = self.n_rows()
+        groups = (
+            column_groups
+            if column_groups is not None
+            else list(range(self.n_column_groups(schema.n_columns)))
+        )
+        seconds = 0.0
+        for cg in groups:
+            cols = self.columns_of_group(cg, schema.n_columns)
+            for rg in range(self.n_row_groups(n_rows)):
+                seconds += connection_seconds
+                seconds += (
+                    self.fs.file_size(self.cell_path(cg, rg))
+                    / bandwidth_bytes_per_second
+                )
+        # Plus the replicated target column.
+        for rg in range(self.n_row_groups(n_rows)):
+            path = f"{self.base}/{self.TARGET_PREFIX}/rg{rg}"
+            seconds += connection_seconds
+            seconds += self.fs.file_size(path) / bandwidth_bytes_per_second
+        return seconds

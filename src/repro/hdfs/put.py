@@ -1,0 +1,170 @@
+"""The dedicated ``put`` program: stream a CSV into the grid layout.
+
+The paper requires users to upload data with TreeServer's own ``put``
+instead of HDFS's, so each column lands in whole-column files workers can
+load in their entirety.  The program is memory-efficient: it keeps one
+output buffer per column-group (``m`` appenders in the paper's description)
+and flushes a grid cell every ``rows_per_group`` rows while *streaming* the
+CSV — it never materializes the table.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from ..data.io import MISSING_TOKENS, infer_column_kind
+from ..data.schema import ColumnKind, ColumnSpec, ProblemKind, TableSchema
+from ..data.table import MISSING_CODE
+from .filesystem import SimHdfs
+from .layout import LayoutConfig, TableLayout, _encode, _schema_to_json
+
+
+def _parse_value(spec: ColumnSpec, token: str) -> float | int:
+    token = token.strip()
+    if token.lower() in MISSING_TOKENS:
+        return np.nan if spec.kind is ColumnKind.NUMERIC else MISSING_CODE
+    if spec.kind is ColumnKind.NUMERIC:
+        return float(token)
+    code = spec.code_of(token)
+    if code < 0:
+        raise ValueError(f"unknown category {token!r} for column {spec.name!r}")
+    return code
+
+
+def _sniff_schema(
+    source: str | Path | TextIO, target: str, problem: ProblemKind | None
+) -> tuple[TableSchema, int]:
+    """First streaming pass: infer column kinds and count rows.
+
+    A real deployment would take a user-declared schema; CSV has no types,
+    so one cheap pass stands in for that declaration.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return _sniff_schema(handle, target, problem)
+    reader = csv.reader(source)
+    header = [h.strip() for h in next(reader)]
+    if target not in header:
+        raise ValueError(f"target {target!r} not in header")
+    kinds = [set() for _ in header]  # type: list[set[str]]
+    categories: list[dict[str, int]] = [{} for _ in header]
+    numeric = [True] * len(header)
+    n_rows = 0
+    for row in reader:
+        if not row:
+            continue
+        n_rows += 1
+        for i, token in enumerate(row):
+            token = token.strip()
+            if token.lower() in MISSING_TOKENS:
+                continue
+            if numeric[i] and infer_column_kind([token]) is ColumnKind.CATEGORICAL:
+                numeric[i] = False
+            if token not in categories[i]:
+                categories[i][token] = len(categories[i])
+    del kinds
+    specs = []
+    target_spec: ColumnSpec | None = None
+    for i, name in enumerate(header):
+        if numeric[i]:
+            spec = ColumnSpec(name, ColumnKind.NUMERIC)
+        else:
+            spec = ColumnSpec(name, ColumnKind.CATEGORICAL, tuple(categories[i]))
+        if name == target:
+            target_spec = spec
+        else:
+            specs.append(spec)
+    assert target_spec is not None
+    if problem is None:
+        problem = (
+            ProblemKind.REGRESSION
+            if target_spec.kind is ColumnKind.NUMERIC
+            else ProblemKind.CLASSIFICATION
+        )
+    if problem is ProblemKind.CLASSIFICATION and not target_spec.categories:
+        raise ValueError("classification target must be categorical")
+    return TableSchema(tuple(specs), target_spec, problem), n_rows
+
+
+def put_csv(
+    fs: SimHdfs,
+    source: str | Path,
+    base_path: str,
+    target: str,
+    layout: LayoutConfig | None = None,
+    problem: ProblemKind | None = None,
+) -> TableLayout:
+    """Upload a CSV file into the Fig. 13 layout on the simulated DFS.
+
+    Streams the file row by row after a schema-sniffing pass, holding only
+    one row-group's worth of values per column in memory.
+    """
+    config = layout or LayoutConfig()
+    schema, n_rows = _sniff_schema(source, target, problem)
+    table_layout = TableLayout(fs, base_path, config)
+    base = table_layout.base
+
+    with fs.create(
+        f"{base}/{TableLayout.SCHEMA_FILE}", overwrite=True
+    ) as writer:
+        writer.write(_schema_to_json(schema, n_rows, config).encode())
+
+    n_col_groups = table_layout.n_column_groups(schema.n_columns)
+    feature_pos = [
+        i for i, name in enumerate(_header_of(source)) if name != target
+    ]
+    target_pos = _header_of(source).index(target)
+
+    buffers: list[list[list[float | int]]] = [
+        [[] for _ in table_layout.columns_of_group(cg, schema.n_columns)]
+        for cg in range(n_col_groups)
+    ]
+    target_buffer: list[float | int] = []
+    row_group = 0
+
+    def flush() -> None:
+        nonlocal row_group
+        if not target_buffer:
+            return
+        for cg in range(n_col_groups):
+            cols = table_layout.columns_of_group(cg, schema.n_columns)
+            with fs.create(
+                table_layout.cell_path(cg, row_group), overwrite=True
+            ) as writer:
+                for local, col in enumerate(cols):
+                    spec = schema.columns[col]
+                    writer.write(_encode(spec, np.asarray(buffers[cg][local])))
+                    buffers[cg][local].clear()
+        path = f"{base}/{TableLayout.TARGET_PREFIX}/rg{row_group}"
+        with fs.create(path, overwrite=True) as writer:
+            writer.write(_encode(schema.target, np.asarray(target_buffer)))
+        target_buffer.clear()
+        row_group += 1
+
+    with open(source, newline="") as handle:
+        reader = csv.reader(handle)
+        next(reader)  # header
+        for row in reader:
+            if not row:
+                continue
+            for j, pos in enumerate(feature_pos):
+                spec = schema.columns[j]
+                cg, local = divmod(j, config.columns_per_group)
+                buffers[cg][local].append(_parse_value(spec, row[pos]))
+            target_buffer.append(_parse_value(schema.target, row[target_pos]))
+            if len(target_buffer) >= config.rows_per_group:
+                flush()
+        flush()
+
+    table_layout._schema = schema
+    table_layout._n_rows = n_rows
+    return table_layout
+
+
+def _header_of(source: str | Path) -> list[str]:
+    with open(source, newline="") as handle:
+        return [h.strip() for h in next(csv.reader(handle))]

@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic tables for every problem shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnKind, ColumnSpec, DataTable, ProblemKind, TableSchema
+from repro.datasets import SyntheticSpec, generate
+
+
+@pytest.fixture
+def tiny_classification() -> DataTable:
+    """The paper's Fig. 1 table: Age/Education/HomeOwner/Income -> Default."""
+    schema = TableSchema(
+        columns=(
+            ColumnSpec("age", ColumnKind.NUMERIC),
+            ColumnSpec(
+                "education",
+                ColumnKind.CATEGORICAL,
+                ("Primary", "Secondary", "Bachelor", "Master", "PhD"),
+            ),
+            ColumnSpec("home_owner", ColumnKind.CATEGORICAL, ("No", "Yes")),
+            ColumnSpec("income", ColumnKind.NUMERIC),
+        ),
+        target=ColumnSpec("default", ColumnKind.CATEGORICAL, ("No", "Yes")),
+        problem=ProblemKind.CLASSIFICATION,
+    )
+    age = np.array([24, 28, 44, 32, 36, 48, 37, 42, 54, 47], dtype=float)
+    education = np.array([2, 3, 2, 1, 4, 2, 1, 2, 1, 4], dtype=np.int32)
+    home = np.array([0, 1, 1, 1, 0, 1, 0, 0, 0, 1], dtype=np.int32)
+    income = np.array(
+        [5000, 7500, 5500, 6000, 10000, 6500, 3000, 6000, 4000, 8000],
+        dtype=float,
+    )
+    default = np.array([0, 0, 0, 1, 0, 0, 1, 0, 1, 0], dtype=np.int32)
+    return DataTable(schema, [age, education, home, income], default)
+
+
+@pytest.fixture
+def small_mixed_classification() -> DataTable:
+    """A few hundred rows with numeric + categorical columns, 3 classes."""
+    return generate(
+        SyntheticSpec(
+            name="mixed",
+            n_rows=300,
+            n_numeric=4,
+            n_categorical=3,
+            n_classes=3,
+            planted_depth=4,
+            noise=0.1,
+            seed=42,
+        )
+    )
+
+
+@pytest.fixture
+def small_regression() -> DataTable:
+    """A small regression table with missing values."""
+    return generate(
+        SyntheticSpec(
+            name="reg",
+            n_rows=250,
+            n_numeric=3,
+            n_categorical=2,
+            problem=ProblemKind.REGRESSION,
+            planted_depth=4,
+            noise=0.05,
+            missing_rate=0.08,
+            seed=43,
+        )
+    )

@@ -1,0 +1,120 @@
+"""Tests for configuration objects and job specifications."""
+
+import pytest
+
+from repro.core import ColumnSampling, SystemConfig, TreeConfig, TreeKind
+from repro.core.impurity import Impurity
+from repro.core.jobs import (
+    decision_tree_job,
+    extra_trees_job,
+    random_forest_job,
+    staged_job,
+)
+
+
+class TestTreeConfig:
+    def test_defaults_match_paper(self):
+        cfg = TreeConfig()
+        assert cfg.max_depth == 10
+        assert cfg.tau_leaf == 1
+        assert cfg.tree_kind is TreeKind.DECISION
+
+    def test_criterion_defaults(self):
+        cfg = TreeConfig()
+        assert cfg.resolved_criterion(True) is Impurity.GINI
+        assert cfg.resolved_criterion(False) is Impurity.VARIANCE
+        forced = TreeConfig(criterion=Impurity.ENTROPY)
+        assert forced.resolved_criterion(True) is Impurity.ENTROPY
+
+    def test_candidate_counts(self):
+        assert TreeConfig().n_candidate_columns(100) == 100
+        sqrt_cfg = TreeConfig(column_sampling=ColumnSampling.SQRT)
+        assert sqrt_cfg.n_candidate_columns(100) == 10
+        ratio_cfg = TreeConfig(
+            column_sampling=ColumnSampling.RATIO, column_ratio=0.3
+        )
+        assert ratio_cfg.n_candidate_columns(100) == 30
+        assert ratio_cfg.n_candidate_columns(1) == 1  # floor at 1
+
+    def test_with_seed(self):
+        cfg = TreeConfig(max_depth=5)
+        other = cfg.with_seed(42)
+        assert other.seed == 42
+        assert other.max_depth == 5
+
+
+class TestSystemConfig:
+    def test_defaults_match_paper(self):
+        system = SystemConfig()
+        assert system.n_workers == 15
+        assert system.compers_per_worker == 10
+        assert system.tau_subtree == 10_000
+        assert system.tau_dfs == 80_000
+        assert system.n_pool == 200
+        assert system.column_replication == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            SystemConfig(tau_subtree=100, tau_dfs=50)
+        with pytest.raises(ValueError):
+            SystemConfig(column_replication=0)
+        with pytest.raises(ValueError):
+            SystemConfig(n_pool=0)
+        with pytest.raises(ValueError):
+            SystemConfig(scheduling_policy="random")
+
+    def test_scaled_to_preserves_ratio(self):
+        scaled = SystemConfig().scaled_to(50_000)
+        assert scaled.tau_dfs == pytest.approx(8 * scaled.tau_subtree, rel=0.1)
+        assert scaled.tau_subtree >= 32
+
+    def test_scaled_to_has_floor(self):
+        tiny = SystemConfig().scaled_to(100)
+        assert tiny.tau_subtree == 32
+
+
+class TestJobs:
+    def test_decision_tree_job(self):
+        job = decision_tree_job("dt")
+        assert job.n_trees == 1
+        assert len(job.stages) == 1
+
+    def test_random_forest_job_seeds_differ(self):
+        job = random_forest_job("rf", 5, seed=3)
+        seeds = [t.config.seed for t in job.stages[0].trees]
+        assert len(set(seeds)) == 5
+
+    def test_random_forest_normalizes_sampling(self):
+        job = random_forest_job("rf", 2, TreeConfig())  # ALL -> SQRT
+        assert (
+            job.stages[0].trees[0].config.column_sampling is ColumnSampling.SQRT
+        )
+
+    def test_random_forest_keeps_explicit_ratio(self):
+        cfg = TreeConfig(column_sampling=ColumnSampling.RATIO, column_ratio=0.5)
+        job = random_forest_job("rf", 2, cfg)
+        assert (
+            job.stages[0].trees[0].config.column_sampling
+            is ColumnSampling.RATIO
+        )
+
+    def test_extra_trees_job_kind(self):
+        job = extra_trees_job("et", 3)
+        for request in job.stages[0].trees:
+            assert request.config.tree_kind is TreeKind.EXTRA
+            assert request.config.column_sampling is ColumnSampling.ALL
+
+    def test_staged_job_structure(self):
+        job = staged_job("b", [[TreeConfig()], [TreeConfig(), TreeConfig()]])
+        assert len(job.stages) == 2
+        assert job.n_trees == 3
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            random_forest_job("rf", 0)
+        with pytest.raises(ValueError):
+            staged_job("x", [])
+        with pytest.raises(ValueError):
+            staged_job("x", [[]])

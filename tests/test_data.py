@@ -1,0 +1,219 @@
+"""Tests for the tabular data substrate: schemas, tables, CSV IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MISSING_CODE,
+    ColumnKind,
+    ColumnSpec,
+    DataTable,
+    ProblemKind,
+    SchemaBuilder,
+    TableSchema,
+    read_csv,
+    table_to_csv_text,
+    write_csv,
+)
+
+
+class TestColumnSpec:
+    def test_numeric_has_no_categories(self):
+        spec = ColumnSpec("a", ColumnKind.NUMERIC)
+        assert spec.n_categories == 0
+
+    def test_numeric_rejects_categories(self):
+        with pytest.raises(ValueError):
+            ColumnSpec("a", ColumnKind.NUMERIC, ("x",))
+
+    def test_code_of_known_and_unknown(self):
+        spec = ColumnSpec("c", ColumnKind.CATEGORICAL, ("x", "y"))
+        assert spec.code_of("y") == 1
+        assert spec.code_of("zzz") == -1
+
+
+class TestTableSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TableSchema(
+                (ColumnSpec("a", ColumnKind.NUMERIC),),
+                ColumnSpec("a", ColumnKind.NUMERIC),
+                ProblemKind.REGRESSION,
+            )
+
+    def test_regression_requires_numeric_target(self):
+        with pytest.raises(ValueError):
+            TableSchema(
+                (ColumnSpec("a", ColumnKind.NUMERIC),),
+                ColumnSpec("y", ColumnKind.CATEGORICAL, ("a", "b")),
+                ProblemKind.REGRESSION,
+            )
+
+    def test_classification_requires_categorical_target(self):
+        with pytest.raises(ValueError):
+            TableSchema(
+                (ColumnSpec("a", ColumnKind.NUMERIC),),
+                ColumnSpec("y", ColumnKind.NUMERIC),
+                ProblemKind.CLASSIFICATION,
+            )
+
+    def test_column_index_lookup(self):
+        schema = (
+            SchemaBuilder()
+            .add_numeric("a")
+            .add_categorical("b", ["x", "y"])
+            .set_target_classes("y", ["0", "1"])
+            .build()
+        )
+        assert schema.column_index("b") == 1
+        with pytest.raises(KeyError):
+            schema.column_index("nope")
+        assert schema.numeric_indices() == [0]
+        assert schema.categorical_indices() == [1]
+
+    def test_builder_requires_target(self):
+        with pytest.raises(ValueError):
+            SchemaBuilder().add_numeric("a").build()
+
+
+class TestDataTable:
+    def test_shape_validation(self, tiny_classification):
+        table = tiny_classification
+        assert table.n_rows == 10
+        assert table.n_columns == 4
+        assert table.n_classes == 2
+
+    def test_column_length_mismatch_rejected(self):
+        schema = (
+            SchemaBuilder()
+            .add_numeric("a")
+            .set_target_classes("y", ["0", "1"])
+            .build()
+        )
+        with pytest.raises(ValueError):
+            DataTable(schema, [np.zeros(3)], np.zeros(4, dtype=np.int32))
+
+    def test_categorical_code_out_of_range_rejected(self):
+        schema = (
+            SchemaBuilder()
+            .add_categorical("c", ["x", "y"])
+            .set_target_classes("y", ["0", "1"])
+            .build()
+        )
+        with pytest.raises(ValueError, match="code"):
+            DataTable(
+                schema,
+                [np.array([0, 5], dtype=np.int32)],
+                np.zeros(2, dtype=np.int32),
+            )
+
+    def test_take_preserves_order(self, tiny_classification):
+        sub = tiny_classification.take([3, 0, 7])
+        assert sub.n_rows == 3
+        assert sub.column(0).tolist() == [32.0, 24.0, 42.0]
+        assert sub.target.tolist() == [1, 0, 0]
+
+    def test_select_columns(self, tiny_classification):
+        sub = tiny_classification.select_columns([0, 3])
+        assert sub.n_columns == 2
+        assert sub.schema.columns[1].name == "income"
+        np.testing.assert_array_equal(sub.target, tiny_classification.target)
+
+    def test_split_train_test_partitions_rows(self, small_mixed_classification):
+        table = small_mixed_classification
+        train, test = table.split_train_test(0.25, seed=1)
+        assert train.n_rows + test.n_rows == table.n_rows
+        assert test.n_rows == round(table.n_rows * 0.25)
+
+    def test_split_train_test_deterministic(self, small_mixed_classification):
+        a1, b1 = small_mixed_classification.split_train_test(0.3, seed=9)
+        a2, b2 = small_mixed_classification.split_train_test(0.3, seed=9)
+        np.testing.assert_array_equal(a1.target, a2.target)
+        np.testing.assert_array_equal(b1.column(0), b2.column(0))
+
+    def test_split_fraction_validation(self, tiny_classification):
+        with pytest.raises(ValueError):
+            tiny_classification.split_train_test(0.0)
+        with pytest.raises(ValueError):
+            tiny_classification.split_train_test(1.0)
+
+    def test_missing_mask_numeric_and_categorical(self, small_regression):
+        table = small_regression
+        num_idx = table.schema.numeric_indices()[0]
+        cat_idx = table.schema.categorical_indices()[0]
+        np.testing.assert_array_equal(
+            table.missing_mask(num_idx), np.isnan(table.column(num_idx))
+        )
+        np.testing.assert_array_equal(
+            table.missing_mask(cat_idx), table.column(cat_idx) == MISSING_CODE
+        )
+
+    def test_nbytes_positive(self, tiny_classification):
+        assert tiny_classification.nbytes() > 0
+
+
+class TestCsvIO:
+    def test_round_trip(self, tiny_classification):
+        text = table_to_csv_text(tiny_classification)
+        back = read_csv(io.StringIO(text), target="default")
+        assert back.n_rows == tiny_classification.n_rows
+        assert back.n_columns == tiny_classification.n_columns
+        np.testing.assert_array_equal(back.target, tiny_classification.target)
+        np.testing.assert_allclose(back.column(0), tiny_classification.column(0))
+
+    def test_round_trip_with_missing(self, small_regression):
+        text = table_to_csv_text(small_regression)
+        back = read_csv(io.StringIO(text), target="target")
+        assert back.problem is ProblemKind.REGRESSION
+        for i in range(back.n_columns):
+            np.testing.assert_array_equal(
+                back.missing_mask(i), small_regression.missing_mask(i)
+            )
+
+    def test_kind_inference(self):
+        csv_text = "a,b,y\n1.5,x,0\n2.5,y,1\n,z,0\n"
+        table = read_csv(io.StringIO(csv_text), target="y")
+        assert table.schema.columns[0].kind is ColumnKind.NUMERIC
+        assert table.schema.columns[1].kind is ColumnKind.CATEGORICAL
+        assert np.isnan(table.column(0)[2])
+
+    def test_regression_inferred_from_numeric_target(self):
+        table = read_csv(io.StringIO("a,y\n1,0.5\n2,0.7\n"), target="y")
+        assert table.problem is ProblemKind.REGRESSION
+
+    def test_classification_forced(self):
+        table = read_csv(
+            io.StringIO("a,y\n1,0\n2,1\n"),
+            target="y",
+            problem=ProblemKind.CLASSIFICATION,
+        )
+        assert table.problem is ProblemKind.CLASSIFICATION
+        assert table.n_classes == 2
+
+    def test_missing_target_column_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            read_csv(io.StringIO("a,b\n1,2\n"), target="y")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="fields"):
+            read_csv(io.StringIO("a,y\n1,2\n3\n"), target="y")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(io.StringIO(""), target="y")
+
+    def test_missing_target_values_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            read_csv(
+                io.StringIO("a,y\n1,x\n2,\n"),
+                target="y",
+                problem=ProblemKind.CLASSIFICATION,
+            )
+
+    def test_write_csv_to_path(self, tmp_path, tiny_classification):
+        path = tmp_path / "t.csv"
+        write_csv(tiny_classification, path)
+        back = read_csv(path, target="default")
+        assert back.n_rows == 10

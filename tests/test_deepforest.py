@@ -1,0 +1,235 @@
+"""Tests for the deep forest pipeline: MGS, cascade, end-to-end model."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemConfig, TreeKind
+from repro.datasets import generate_images, train_test_images
+from repro.deepforest import (
+    CascadeConfig,
+    CascadeForest,
+    DeepForest,
+    LocalBackend,
+    MGSConfig,
+    MultiGrainedScanner,
+    TreeServerBackend,
+    features_to_table,
+    n_window_positions,
+    sliding_windows,
+    windows_to_table,
+)
+from repro.evaluation import accuracy
+
+
+@pytest.fixture(scope="module")
+def images():
+    return train_test_images(120, 60, seed=5)
+
+
+class TestSlidingWindows:
+    def test_position_arithmetic(self):
+        assert n_window_positions(28, 3, 1) == 26
+        assert n_window_positions(28, 7, 1) == 22
+        assert n_window_positions(28, 3, 5) == 6
+        with pytest.raises(ValueError):
+            n_window_positions(4, 7, 1)
+
+    def test_window_shapes(self):
+        data = generate_images(4, n_classes=2, side=12, seed=1)
+        windows = sliding_windows(data.images, window=3, stride=2)
+        positions = n_window_positions(12, 3, 2)
+        assert windows.shape == (4, positions * positions, 9)
+
+    def test_window_contents(self):
+        image = np.arange(16, dtype=float).reshape(1, 4, 4)
+        windows = sliding_windows(image, window=2, stride=2)
+        np.testing.assert_array_equal(windows[0, 0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(windows[0, 3], [10, 11, 14, 15])
+
+    def test_windows_to_table_repeats_labels(self):
+        data = generate_images(3, n_classes=3, side=8, seed=2)
+        windows = sliding_windows(data.images, 3, 3)
+        table = windows_to_table(windows, data.labels, 3)
+        positions = windows.shape[1]
+        assert table.n_rows == 3 * positions
+        np.testing.assert_array_equal(
+            table.target[:positions], np.full(positions, data.labels[0])
+        )
+
+
+class TestMGS:
+    def test_transform_dimensions(self, images):
+        train, test = images
+        config = MGSConfig(
+            window_sizes=(5,), stride=6, n_forests=2, trees_per_forest=3, seed=1
+        )
+        scanner = MultiGrainedScanner(config, LocalBackend())
+        scanner.fit_grain(5, train)
+        features = scanner.transform_grain(5, test)
+        positions = n_window_positions(train.side, 5, 6) ** 2
+        assert features.shape == (
+            test.n_images,
+            positions * 2 * train.n_classes,
+        )
+
+    def test_features_are_pmf_blocks(self, images):
+        train, _ = images
+        config = MGSConfig(
+            window_sizes=(7,), stride=7, n_forests=1, trees_per_forest=3, seed=2
+        )
+        scanner = MultiGrainedScanner(config, LocalBackend())
+        scanner.fit_grain(7, train)
+        features = scanner.transform_grain(7, train)
+        k = train.n_classes
+        blocks = features.reshape(train.n_images, -1, k)
+        np.testing.assert_allclose(blocks.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_unfitted_grain_rejected(self, images):
+        train, _ = images
+        scanner = MultiGrainedScanner(MGSConfig(), LocalBackend())
+        with pytest.raises(ValueError, match="not fitted"):
+            scanner.transform_grain(3, train)
+
+    def test_forest_kinds_cycle(self, images):
+        train, _ = images
+        config = MGSConfig(
+            window_sizes=(5,),
+            stride=7,
+            n_forests=2,
+            trees_per_forest=2,
+            forest_kinds=(TreeKind.DECISION, TreeKind.EXTRA),
+            seed=3,
+        )
+        scanner = MultiGrainedScanner(config, LocalBackend())
+        grain = scanner.fit_grain(5, train)
+        assert len(grain.forests) == 2
+        assert grain.train_seconds > 0
+
+
+class TestCascade:
+    def _grain_features(self, train, test):
+        config = MGSConfig(
+            window_sizes=(5, 7), stride=7, n_forests=1, trees_per_forest=3, seed=4
+        )
+        scanner = MultiGrainedScanner(config, LocalBackend())
+        scanner.fit(train)
+        return (
+            {w: scanner.transform_grain(w, train) for w in (5, 7)},
+            {w: scanner.transform_grain(w, test) for w in (5, 7)},
+        )
+
+    def test_layer_input_concatenation(self, images):
+        train, test = images
+        train_features, _ = self._grain_features(train, test)
+        cascade = CascadeForest(
+            CascadeConfig(n_layers=2, n_forests=2, trees_per_forest=2, seed=1),
+            LocalBackend(),
+        )
+        features0, window0 = cascade.layer_input(0, train_features, None)
+        assert window0 == 5  # smallest window first
+        prev = np.zeros((train.n_images, 4))
+        features1, window1 = cascade.layer_input(1, train_features, prev)
+        assert window1 == 7  # cycles to the next grain
+        assert features1.shape[1] == train_features[7].shape[1] + 4
+
+    def test_fit_and_predict(self, images):
+        train, test = images
+        train_features, test_features = self._grain_features(train, test)
+        cascade = CascadeForest(
+            CascadeConfig(n_layers=2, n_forests=2, trees_per_forest=3, seed=2),
+            LocalBackend(),
+        )
+        previous = None
+        for layer_index in range(2):
+            _, previous = cascade.fit_layer(
+                layer_index, train_features, train.labels, train.n_classes,
+                previous,
+            )
+        per_layer = cascade.predict_proba_per_layer(test_features)
+        assert len(per_layer) == 2
+        for pmf in per_layer:
+            assert pmf.shape == (test.n_images, train.n_classes)
+            np.testing.assert_allclose(pmf.sum(axis=1), 1.0, atol=1e-9)
+        labels = cascade.predict(test_features)
+        assert accuracy(test.labels, labels) > 0.3
+
+    def test_unfitted_predict_rejected(self):
+        cascade = CascadeForest(CascadeConfig(), LocalBackend())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            cascade.predict({})
+
+    def test_features_to_table(self):
+        rng = np.random.default_rng(0)
+        feats = rng.normal(size=(10, 4))
+        labels = rng.integers(0, 3, size=10)
+        table = features_to_table(feats, labels, 3)
+        assert table.n_rows == 10
+        assert table.n_columns == 4
+        assert table.n_classes == 3
+
+
+class TestDeepForestEndToEnd:
+    def test_fit_report_structure(self, images):
+        train, test = images
+        model = DeepForest(
+            MGSConfig(window_sizes=(5, 7), stride=7, n_forests=2,
+                      trees_per_forest=4, seed=6),
+            CascadeConfig(n_layers=2, n_forests=2, trees_per_forest=4, seed=6),
+        )
+        report = model.fit_report(train, test)
+        names = [s.step for s in report.steps]
+        assert names[0] == "slide"
+        assert "win5train" in names and "win5extract" in names
+        assert "win7train" in names and "win7extract" in names
+        assert "CF0train" in names and "CF1extract" in names
+        # Accuracy recorded after every cascade layer.
+        cf_accs = [s.test_accuracy for s in report.steps
+                   if s.test_accuracy is not None]
+        assert len(cf_accs) == 2
+        assert report.final_accuracy() == cf_accs[-1]
+        # Training times recorded for forest-training steps.
+        assert report.step("win5train").train_seconds > 0
+
+    def test_learns_better_than_chance(self, images):
+        train, test = images
+        model = DeepForest(
+            MGSConfig(window_sizes=(5,), stride=6, n_forests=2,
+                      trees_per_forest=6, seed=7),
+            CascadeConfig(n_layers=2, n_forests=2, trees_per_forest=6, seed=7),
+        )
+        report = model.fit_report(train, test)
+        assert report.final_accuracy() > 2.0 / train.n_classes
+
+    def test_predict_matches_last_layer(self, images):
+        train, test = images
+        model = DeepForest(
+            MGSConfig(window_sizes=(5,), stride=7, n_forests=1,
+                      trees_per_forest=3, seed=8),
+            CascadeConfig(n_layers=1, n_forests=1, trees_per_forest=3, seed=8),
+        )
+        report = model.fit_report(train, test)
+        predictions = model.predict(test)
+        assert accuracy(test.labels, predictions) == pytest.approx(
+            report.final_accuracy()
+        )
+
+    def test_treeserver_backend_matches_local_model(self, images):
+        """Backends differ only in timing — models are identical."""
+        train, test = images
+        mgs_cfg = MGSConfig(
+            window_sizes=(7,), stride=9, n_forests=1, trees_per_forest=2, seed=9
+        )
+        local = MultiGrainedScanner(mgs_cfg, LocalBackend())
+        local.fit_grain(7, train)
+        simulated = MultiGrainedScanner(
+            mgs_cfg,
+            TreeServerBackend(SystemConfig(n_workers=3, compers_per_worker=2)),
+        )
+        simulated.fit_grain(7, train)
+        np.testing.assert_allclose(
+            local.transform_grain(7, test),
+            simulated.transform_grain(7, test),
+            atol=1e-12,
+        )
+        # The simulated backend reports real cluster seconds.
+        assert simulated.grains[7].train_seconds > 0

@@ -1,0 +1,78 @@
+"""Tests for forest models (PMF averaging, depth truncation, guards)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TreeConfig, train_tree
+from repro.core.jobs import random_forest_job
+from repro.data.schema import ProblemKind
+from repro.ensemble import ForestModel
+
+
+def make_forest(table, n_trees=4, max_depth=5, seed=0):
+    job = random_forest_job("rf", n_trees, TreeConfig(max_depth=max_depth), seed=seed)
+    return ForestModel(
+        [train_tree(table, t.config) for t in job.stages[0].trees]
+    )
+
+
+class TestForestModel:
+    def test_needs_trees(self):
+        with pytest.raises(ValueError):
+            ForestModel([])
+
+    def test_mixed_problems_rejected(
+        self, small_mixed_classification, small_regression
+    ):
+        cls_tree = train_tree(small_mixed_classification, TreeConfig(max_depth=3))
+        reg_tree = train_tree(small_regression, TreeConfig(max_depth=3))
+        with pytest.raises(ValueError, match="disagree"):
+            ForestModel([cls_tree, reg_tree])
+
+    def test_proba_is_average_of_members(self, small_mixed_classification):
+        table = small_mixed_classification
+        forest = make_forest(table, n_trees=3)
+        manual = sum(t.predict_proba(table) for t in forest.trees) / 3
+        np.testing.assert_allclose(forest.predict_proba(table), manual)
+
+    def test_proba_rows_sum_to_one(self, small_mixed_classification):
+        forest = make_forest(small_mixed_classification)
+        proba = forest.predict_proba(small_mixed_classification)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_regression_average(self, small_regression):
+        forest = make_forest(small_regression, n_trees=3)
+        manual = sum(t.predict_values(small_regression) for t in forest.trees) / 3
+        np.testing.assert_allclose(forest.predict_values(small_regression), manual)
+
+    def test_predict_dispatch(self, small_regression, small_mixed_classification):
+        reg = make_forest(small_regression, n_trees=2)
+        cls = make_forest(small_mixed_classification, n_trees=2)
+        assert reg.problem is ProblemKind.REGRESSION
+        assert cls.predict(small_mixed_classification).dtype.kind == "i"
+        with pytest.raises(ValueError):
+            reg.predict_proba(small_regression)
+        with pytest.raises(ValueError):
+            cls.predict_values(small_mixed_classification)
+
+    def test_depth_truncation_propagates(self, small_mixed_classification):
+        table = small_mixed_classification
+        forest = make_forest(table, max_depth=6)
+        shallow = forest.predict_proba(table, max_depth=2)
+        manual = sum(
+            t.predict_proba(table, max_depth=2) for t in forest.trees
+        ) / forest.n_trees
+        np.testing.assert_allclose(shallow, manual)
+
+    def test_total_nodes(self, small_mixed_classification):
+        forest = make_forest(small_mixed_classification, n_trees=2)
+        assert forest.total_nodes() == sum(t.n_nodes for t in forest.trees)
+
+    def test_forest_no_worse_than_worst_tree(self, small_mixed_classification):
+        table = small_mixed_classification
+        forest = make_forest(table, n_trees=5, max_depth=8)
+        forest_acc = (forest.predict(table) == table.target).mean()
+        tree_accs = [
+            (t.predict(table) == table.target).mean() for t in forest.trees
+        ]
+        assert forest_acc >= min(tree_accs) - 0.05

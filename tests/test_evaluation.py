@@ -1,0 +1,129 @@
+"""Tests for metrics, the experiment harness and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemConfig, TreeConfig
+from repro.evaluation import (
+    ComparisonTable,
+    ExperimentRow,
+    accuracy,
+    format_table,
+    load_dataset,
+    pmf_accuracy,
+    rmse,
+    run_mllib,
+    run_treeserver,
+    run_xgboost,
+    score,
+    sweep_table,
+)
+from repro.baselines import XGBoostConfig
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 2], [1, 2, 3])
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_pmf_accuracy(self):
+        pmf = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert pmf_accuracy(np.array([0, 1, 1]), pmf) == pytest.approx(2 / 3)
+
+    def test_score_dispatch(self):
+        assert score(True, [1, 1], [1, 0]) == pytest.approx(0.5)
+        assert score(False, [0.0], [2.0]) == pytest.approx(2.0)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return load_dataset("susy", small=True)
+
+    def test_run_treeserver_row(self, data):
+        train, test = data
+        row = run_treeserver(
+            "susy", train, test, TreeConfig(max_depth=6),
+            system=SystemConfig(n_workers=3, compers_per_worker=2),
+        )
+        assert row.system == "TreeServer"
+        assert row.sim_seconds > 0
+        assert row.quality_metric == "accuracy"
+        assert 0 <= row.quality <= 1
+        assert row.cpu_percent is not None
+
+    def test_run_treeserver_forest(self, data):
+        train, test = data
+        row = run_treeserver(
+            "susy", train, test, TreeConfig(max_depth=5), n_trees=3, seed=1,
+            system=SystemConfig(n_workers=3, compers_per_worker=2),
+        )
+        assert row.params["n_trees"] == 3
+
+    def test_run_mllib_variants(self, data):
+        train, test = data
+        parallel = run_mllib("susy", train, test, TreeConfig(max_depth=6))
+        single = run_mllib(
+            "susy", train, test, TreeConfig(max_depth=6), single_thread=True
+        )
+        assert parallel.system == "MLlib (Parallel)"
+        assert single.system == "MLlib (Single Thread)"
+        assert parallel.sim_seconds != single.sim_seconds
+
+    def test_run_xgboost(self, data):
+        train, test = data
+        row = run_xgboost(
+            "susy", train, test, XGBoostConfig(n_rounds=4, max_depth=3)
+        )
+        assert row.system == "XGBoost"
+        assert row.params["n_rounds"] == 4
+
+    def test_quality_str_formats(self):
+        acc_row = ExperimentRow("s", "d", 1.0, 0.876, "accuracy")
+        assert acc_row.quality_str() == "87.60%"
+        rmse_row = ExperimentRow("s", "d", 1.0, 0.4567, "rmse")
+        assert rmse_row.quality_str() == "0.4567"
+
+    def test_regression_dataset_uses_rmse(self):
+        train, test = load_dataset("allstate", small=True)
+        row = run_mllib("allstate", train, test, TreeConfig(max_depth=4))
+        assert row.quality_metric == "rmse"
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in lines[-1]
+
+    def test_comparison_table_render_and_speedup(self):
+        table = ComparisonTable("X", ["A", "B"])
+        table.add(ExperimentRow("A", "d1", 1.0, 0.9, "accuracy"))
+        table.add(ExperimentRow("B", "d1", 4.0, 0.8, "accuracy"))
+        out = table.render()
+        assert "d1" in out and "90.00%" in out
+        assert table.speedup("d1", "A", "B") == pytest.approx(4.0)
+
+    def test_comparison_table_missing_system_dash(self):
+        table = ComparisonTable("X", ["A", "B"])
+        table.add(ExperimentRow("A", "d1", 1.0, 0.9, "accuracy"))
+        assert "-" in table.render()
+
+    def test_sweep_table(self):
+        rows = [
+            (10, ExperimentRow("S", "d", 1.0, 0.5, "accuracy")),
+            (20, ExperimentRow("S", "d", 2.0, 0.6, "accuracy")),
+        ]
+        out = sweep_table("T", "param", rows, extra_columns={"x": ["a", "b"]})
+        assert "param" in out and "60.00%" in out and "b" in out

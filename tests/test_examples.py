@@ -1,0 +1,43 @@
+"""Smoke tests: the fast example scripts run end-to-end.
+
+Slow examples (deep forest, full system comparison, model selection) are
+exercised indirectly by the benchmarks; the quick ones run here so the
+documented entry points cannot rot.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "credit_default.py",
+    "hdfs_workflow.py",
+    "fault_tolerance.py",
+    "sequence_classification.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # every example prints a report
+
+
+def test_example_inventory_documented():
+    """Every example file is runnable Python with a module docstring."""
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 9
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith('"""'), f"{script.name} lacks a docstring"
+        assert '__name__ == "__main__"' in text, f"{script.name} not runnable"

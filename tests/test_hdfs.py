@@ -1,0 +1,215 @@
+"""Tests for the simulated HDFS and the Fig. 13 grid layout."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import write_csv
+from repro.data.schema import ProblemKind
+from repro.datasets import SyntheticSpec, generate
+from repro.hdfs import HdfsError, LayoutConfig, SimHdfs, TableLayout, put_csv
+
+
+@pytest.fixture
+def table():
+    return generate(
+        SyntheticSpec(
+            name="hdfs",
+            n_rows=500,
+            n_numeric=7,
+            n_categorical=4,
+            n_classes=3,
+            planted_depth=3,
+            missing_rate=0.05,
+            seed=31,
+        )
+    )
+
+
+class TestSimHdfs:
+    def test_create_write_read(self):
+        fs = SimHdfs()
+        with fs.create("/a/b") as w:
+            w.write(b"hello ")
+            w.write(b"world")
+        with fs.open("/a/b") as r:
+            assert r.read() == b"hello world"
+
+    def test_double_create_rejected(self):
+        fs = SimHdfs()
+        fs.create("/x").close()
+        with pytest.raises(HdfsError, match="exists"):
+            fs.create("/x")
+        fs.create("/x", overwrite=True).close()  # but overwrite works
+
+    def test_open_missing_rejected(self):
+        fs = SimHdfs()
+        with pytest.raises(HdfsError, match="no such file"):
+            fs.open("/nope")
+
+    def test_write_after_close_rejected(self):
+        fs = SimHdfs()
+        writer = fs.create("/y")
+        writer.close()
+        with pytest.raises(HdfsError, match="closed"):
+            writer.write(b"late")
+
+    def test_connection_accounting(self):
+        fs = SimHdfs()
+        fs.create("/a").close()
+        fs.create("/b").close()
+        fs.open("/a").read()
+        fs.open("/a").read()
+        assert fs.stats.connections_opened == 4  # 2 creates + 2 opens
+        assert fs.stats.files_created == 2
+
+    def test_listdir_and_delete(self):
+        fs = SimHdfs()
+        fs.create("/d/1").close()
+        fs.create("/d/2").close()
+        fs.create("/e/3").close()
+        assert fs.listdir("/d") == ["/d/1", "/d/2"]
+        fs.delete("/d/1")
+        assert fs.listdir("/d") == ["/d/2"]
+        with pytest.raises(HdfsError):
+            fs.delete("/d/1")
+
+    def test_file_size(self):
+        fs = SimHdfs()
+        with fs.create("/s") as w:
+            w.write(b"12345")
+        assert fs.file_size("/s") == 5
+
+
+class TestTableLayout:
+    def test_round_trip(self, table):
+        fs = SimHdfs()
+        layout = TableLayout(
+            fs, "/t", LayoutConfig(columns_per_group=3, rows_per_group=128)
+        )
+        layout.save(table)
+        back = layout.load_table()
+        for i in range(table.n_columns):
+            a, b = table.column(i), back.column(i)
+            if a.dtype == np.float64:
+                np.testing.assert_array_equal(np.isnan(a), np.isnan(b))
+                np.testing.assert_array_equal(a[~np.isnan(a)], b[~np.isnan(b)])
+            else:
+                np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(table.target, back.target)
+        assert back.problem is table.problem
+
+    def test_grid_arithmetic(self, table):
+        layout = TableLayout(
+            SimHdfs(), "/t", LayoutConfig(columns_per_group=4, rows_per_group=200)
+        )
+        assert layout.n_column_groups(11) == 3
+        assert layout.n_row_groups(500) == 3
+        assert layout.columns_of_group(2, 11) == [8, 9, 10]
+        assert layout.row_range(2, 500) == (400, 500)
+        with pytest.raises(ValueError):
+            layout.columns_of_group(3, 11)
+        with pytest.raises(ValueError):
+            layout.row_range(3, 500)
+
+    def test_column_group_load(self, table):
+        fs = SimHdfs()
+        layout = TableLayout(
+            fs, "/t", LayoutConfig(columns_per_group=4, rows_per_group=128)
+        )
+        layout.save(table)
+        fs.reset_stats()
+        cols = layout.load_column_group(1)
+        assert sorted(cols) == [4, 5, 6, 7]
+        for idx, arr in cols.items():
+            assert len(arr) == table.n_rows
+        # One connection per row-group file in the grid column.
+        assert fs.stats.connections_opened == layout.n_row_groups(table.n_rows)
+
+    def test_row_group_load(self, table):
+        fs = SimHdfs()
+        layout = TableLayout(
+            fs, "/t", LayoutConfig(columns_per_group=4, rows_per_group=128)
+        )
+        layout.save(table)
+        part = layout.load_row_group(1)
+        assert part.n_rows == 128
+        np.testing.assert_array_equal(part.target, table.target[128:256])
+
+    def test_schema_persisted(self, table):
+        fs = SimHdfs()
+        layout = TableLayout(
+            fs, "/t", LayoutConfig(columns_per_group=5, rows_per_group=100)
+        )
+        layout.save(table)
+        fresh = TableLayout(fs, "/t")  # no config: read it from the store
+        schema = fresh.schema()
+        assert schema.n_columns == table.n_columns
+        assert fresh.config.columns_per_group == 5
+        assert fresh.n_rows() == table.n_rows
+
+    def test_estimated_load_monotone_in_grouping(self, table):
+        estimates = []
+        for group in (1, 4, 11):
+            fs = SimHdfs()
+            layout = TableLayout(
+                fs, "/t", LayoutConfig(columns_per_group=group, rows_per_group=128)
+            )
+            layout.save(table)
+            estimates.append(layout.estimated_load_seconds(5e-3, 125e6))
+        assert estimates[0] > estimates[1] > estimates[2]
+
+
+class TestPutProgram:
+    def test_put_round_trip(self, table, tmp_path):
+        csv_path = os.path.join(tmp_path, "t.csv")
+        write_csv(table, csv_path)
+        fs = SimHdfs()
+        layout = put_csv(
+            fs,
+            csv_path,
+            "/up/t",
+            target=table.schema.target.name,
+            layout=LayoutConfig(columns_per_group=3, rows_per_group=64),
+        )
+        back = layout.load_table()
+        assert back.n_rows == table.n_rows
+        # The sniffer assigns codes by first appearance, so compare decoded
+        # category *names*, not raw codes.
+        original_names = [
+            table.schema.target.categories[c] for c in table.target
+        ]
+        back_names = [back.schema.target.categories[c] for c in back.target]
+        assert back_names == original_names
+        assert back.problem is table.problem
+
+    def test_put_streams_row_groups(self, table, tmp_path):
+        csv_path = os.path.join(tmp_path, "t.csv")
+        write_csv(table, csv_path)
+        fs = SimHdfs()
+        layout = put_csv(
+            fs,
+            csv_path,
+            "/up/t",
+            target=table.schema.target.name,
+            layout=LayoutConfig(columns_per_group=100, rows_per_group=100),
+        )
+        # 500 rows / 100 per group -> 5 row-group files per column group.
+        assert layout.n_row_groups(500) == 5
+        assert fs.exists("/up/t/cg0/rg4")
+
+    def test_put_regression(self, small_regression, tmp_path):
+        csv_path = os.path.join(tmp_path, "r.csv")
+        write_csv(small_regression, csv_path)
+        fs = SimHdfs()
+        layout = put_csv(fs, csv_path, "/up/r", target="target")
+        back = layout.load_table()
+        assert back.problem is ProblemKind.REGRESSION
+        np.testing.assert_allclose(back.target, small_regression.target)
+
+    def test_put_missing_target_rejected(self, table, tmp_path):
+        csv_path = os.path.join(tmp_path, "t.csv")
+        write_csv(table, csv_path)
+        with pytest.raises(ValueError, match="target"):
+            put_csv(SimHdfs(), csv_path, "/up/t", target="no_such_column")

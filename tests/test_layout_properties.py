@@ -1,0 +1,106 @@
+"""Property-based tests: the Fig. 13 grid layout over random shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import ColumnKind, ColumnSpec, ProblemKind, TableSchema
+from repro.data.table import DataTable
+from repro.hdfs import LayoutConfig, SimHdfs, TableLayout
+
+
+def make_table(n_rows: int, n_numeric: int, n_categorical: int, seed: int):
+    rng = np.random.default_rng(seed)
+    specs = []
+    columns = []
+    for i in range(n_numeric):
+        specs.append(ColumnSpec(f"n{i}", ColumnKind.NUMERIC))
+        col = rng.normal(size=n_rows)
+        col[rng.random(n_rows) < 0.1] = np.nan
+        columns.append(col)
+    for i in range(n_categorical):
+        specs.append(ColumnSpec(f"c{i}", ColumnKind.CATEGORICAL, ("a", "b", "c")))
+        columns.append(rng.integers(-1, 3, size=n_rows).astype(np.int32))
+    schema = TableSchema(
+        tuple(specs),
+        ColumnSpec("y", ColumnKind.CATEGORICAL, ("x", "y")),
+        ProblemKind.CLASSIFICATION,
+    )
+    return DataTable(schema, columns, rng.integers(0, 2, n_rows).astype(np.int32))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_rows=st.integers(min_value=1, max_value=300),
+    n_numeric=st.integers(min_value=0, max_value=5),
+    n_categorical=st.integers(min_value=0, max_value=4),
+    cols_per_group=st.integers(min_value=1, max_value=7),
+    rows_per_group=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_grid_round_trip_property(
+    n_rows, n_numeric, n_categorical, cols_per_group, rows_per_group, seed
+):
+    """save -> load_table reconstructs every value for any grid shape."""
+    if n_numeric + n_categorical == 0:
+        n_numeric = 1
+    table = make_table(n_rows, n_numeric, n_categorical, seed)
+    fs = SimHdfs()
+    layout = TableLayout(
+        fs,
+        "/p",
+        LayoutConfig(
+            columns_per_group=cols_per_group, rows_per_group=rows_per_group
+        ),
+    )
+    layout.save(table)
+    back = layout.load_table()
+    assert back.n_rows == table.n_rows
+    for i in range(table.n_columns):
+        a, b = table.column(i), back.column(i)
+        if a.dtype == np.float64:
+            np.testing.assert_array_equal(np.isnan(a), np.isnan(b))
+            np.testing.assert_array_equal(a[~np.isnan(a)], b[~np.isnan(b)])
+        else:
+            np.testing.assert_array_equal(a, b)
+    np.testing.assert_array_equal(back.target, table.target)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_rows=st.integers(min_value=2, max_value=200),
+    rows_per_group=st.integers(min_value=1, max_value=90),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_row_groups_partition_rows(n_rows, rows_per_group, seed):
+    """Row-group loads concatenate back to the full table, in order."""
+    table = make_table(n_rows, 2, 1, seed)
+    fs = SimHdfs()
+    layout = TableLayout(
+        fs, "/p", LayoutConfig(columns_per_group=2, rows_per_group=rows_per_group)
+    )
+    layout.save(table)
+    pieces = [
+        layout.load_row_group(g)
+        for g in range(layout.n_row_groups(n_rows))
+    ]
+    assert sum(p.n_rows for p in pieces) == n_rows
+    joined = np.concatenate([p.target for p in pieces])
+    np.testing.assert_array_equal(joined, table.target)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_columns=st.integers(min_value=1, max_value=12),
+    cols_per_group=st.integers(min_value=1, max_value=12),
+)
+def test_column_groups_partition_columns(n_columns, cols_per_group):
+    """Column groups cover every column exactly once."""
+    layout = TableLayout(
+        SimHdfs(), "/p", LayoutConfig(columns_per_group=cols_per_group)
+    )
+    seen: list[int] = []
+    for g in range(layout.n_column_groups(n_columns)):
+        seen.extend(layout.columns_of_group(g, n_columns))
+    assert seen == list(range(n_columns))

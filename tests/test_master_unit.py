@@ -1,0 +1,167 @@
+"""Unit-level tests of master internals and run-level consistency checks."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SystemConfig,
+    TreeConfig,
+    TreeServer,
+    decision_tree_job,
+    random_forest_job,
+)
+from repro.core.master import _TreeBuild
+from repro.core.scheduler import TreeTicket
+from repro.core.jobs import decision_tree_job as dt_job
+from repro.core.tasks import TreeContext
+from repro.core.tree import TreeNode
+from repro.datasets import SyntheticSpec, generate
+
+
+def make_build() -> _TreeBuild:
+    job = dt_job("j")
+    ticket = TreeTicket(0, 0, 0, job.stages[0].trees[0])
+    ctx = TreeContext(1, TreeConfig(), (0,), False, 10)
+    return _TreeBuild(uid=1, ticket=ticket, job=job, ctx=ctx)
+
+
+class TestTreeBuildAttach:
+    def test_root_attach(self):
+        build = make_build()
+        root = TreeNode(1, 0, 10, 0.5)
+        build.attach(1, root)
+        assert build.nodes[1] is root
+
+    def test_children_linked_by_heap_path(self):
+        build = make_build()
+        root = TreeNode(1, 0, 10, 0.5)
+        build.attach(1, root)
+        left = TreeNode(2, 1, 6, 0.3)
+        right = TreeNode(3, 1, 4, 0.8)
+        build.attach(2, left)
+        build.attach(3, right)
+        assert root.left is left
+        assert root.right is right
+
+    def test_grandchildren(self):
+        build = make_build()
+        build.attach(1, TreeNode(1, 0, 10, 0.5))
+        build.attach(2, TreeNode(2, 1, 6, 0.3))
+        build.attach(3, TreeNode(3, 1, 4, 0.8))
+        build.attach(5, TreeNode(5, 2, 3, 0.1))  # right child of node 2
+        assert build.nodes[2].right is build.nodes[5]
+        assert build.nodes[2].left is None
+
+
+@pytest.fixture(scope="module")
+def medium_table():
+    return generate(
+        SyntheticSpec(
+            name="m", n_rows=900, n_numeric=5, n_categorical=2,
+            n_classes=3, planted_depth=5, noise=0.1, seed=71,
+        )
+    )
+
+
+class TestRunConsistency:
+    def test_node_count_matches_task_accounting(self, medium_table):
+        """Internal nodes above tau = column tasks that split; subtree tasks
+        cover whole subtrees; totals must reconcile with the final tree."""
+        system = SystemConfig(
+            n_workers=4, compers_per_worker=2, tau_subtree=64, tau_dfs=256
+        )
+        report = TreeServer(system).fit(
+            medium_table, [decision_tree_job("dt", TreeConfig(max_depth=8))]
+        )
+        tree = report.tree("dt")
+        counters = report.counters
+        internal_above_tau = sum(
+            1
+            for node in tree.nodes()
+            if node.split is not None and node.n_rows > 64
+        )
+        # Every internal node above tau was split via a column task; some
+        # column tasks also resolved to leaves (no useful split).
+        assert counters.column_tasks >= internal_above_tau
+        assert counters.column_tasks <= internal_above_tau + counters.leaves_finalized
+        # Subtree tasks exist and are dominated by node count.
+        assert 0 < counters.subtree_tasks <= tree.n_nodes
+
+    def test_dispatches_equal_tasks(self, medium_table):
+        system = SystemConfig(n_workers=4, compers_per_worker=2).scaled_to(
+            medium_table.n_rows
+        )
+        report = TreeServer(system).fit(
+            medium_table, [decision_tree_job("dt", TreeConfig(max_depth=6))]
+        )
+        counters = report.counters
+        assert counters.plans_dispatched == (
+            counters.column_tasks + counters.subtree_tasks
+        )
+
+    def test_bplan_insertions_match_dispatches(self, medium_table):
+        system = SystemConfig(n_workers=4, compers_per_worker=2).scaled_to(
+            medium_table.n_rows
+        )
+        report = TreeServer(system).fit(
+            medium_table,
+            [random_forest_job("rf", 4, TreeConfig(max_depth=6), seed=1)],
+        )
+        counters = report.counters
+        assert (
+            counters.head_insertions + counters.tail_insertions
+            == counters.plans_dispatched
+        )
+
+    def test_trees_completed_counter(self, medium_table):
+        system = SystemConfig(n_workers=3, compers_per_worker=2).scaled_to(
+            medium_table.n_rows
+        )
+        report = TreeServer(system).fit(
+            medium_table,
+            [random_forest_job("rf", 5, TreeConfig(max_depth=5), seed=2)],
+        )
+        assert report.counters.trees_completed == 5
+
+    def test_deterministic_across_runs_with_metrics(self, medium_table):
+        system = SystemConfig(n_workers=4, compers_per_worker=2).scaled_to(
+            medium_table.n_rows
+        )
+        job = decision_tree_job("dt", TreeConfig(max_depth=6))
+        r1 = TreeServer(system).fit(medium_table, [job])
+        r2 = TreeServer(system).fit(medium_table, [job])
+        assert r1.cluster.events_processed == r2.cluster.events_processed
+        assert r1.counters.plans_dispatched == r2.counters.plans_dispatched
+        m1 = [m.bytes_sent for m in r1.cluster.machines]
+        m2 = [m.bytes_sent for m in r2.cluster.machines]
+        assert m1 == m2
+
+    def test_per_kind_bytes_cover_total(self, medium_table):
+        system = SystemConfig(n_workers=4, compers_per_worker=2).scaled_to(
+            medium_table.n_rows
+        )
+        report = TreeServer(system).fit(
+            medium_table, [decision_tree_job("dt", TreeConfig(max_depth=6))]
+        )
+        assert sum(report.cluster.bytes_by_kind.values()) == pytest.approx(
+            report.cluster.total_bytes
+        )
+
+    def test_scheduling_policies_same_model(self, medium_table):
+        from repro.core import trees_equal
+
+        trees = {}
+        for policy in ("hybrid", "fifo", "lifo"):
+            system = SystemConfig(
+                n_workers=4,
+                compers_per_worker=2,
+                tau_subtree=64,
+                tau_dfs=256,
+                scheduling_policy=policy,
+            )
+            report = TreeServer(system).fit(
+                medium_table, [decision_tree_job("dt", TreeConfig(max_depth=6))]
+            )
+            trees[policy] = report.tree("dt")
+        assert trees_equal(trees["hybrid"], trees["fifo"])
+        assert trees_equal(trees["hybrid"], trees["lifo"])

@@ -1,0 +1,107 @@
+"""Tests for pooled model selection (grid search in one TreeServer run)."""
+
+import pytest
+
+from repro.core import SystemConfig, TreeConfig
+from repro.evaluation.model_selection import (
+    Candidate,
+    expand_grid,
+    grid_search,
+)
+
+
+def small_system() -> SystemConfig:
+    return SystemConfig(n_workers=3, compers_per_worker=2)
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        candidates = expand_grid(
+            TreeConfig(), {"max_depth": [4, 8], "tau_leaf": [1, 16]}
+        )
+        assert len(candidates) == 4
+        assert len({c.name for c in candidates}) == 4
+        depths = {c.config.max_depth for c in candidates}
+        assert depths == {4, 8}
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid(TreeConfig(), {})
+
+    def test_forest_candidates(self):
+        candidates = expand_grid(TreeConfig(), {"max_depth": [4]}, n_trees=5)
+        assert candidates[0].n_trees == 5
+
+
+class TestGridSearch:
+    def test_finds_a_best_candidate(self):
+        from repro.datasets import SyntheticSpec, generate
+
+        table = generate(
+            SyntheticSpec(
+                name="gs", n_rows=1500, n_numeric=6, n_categorical=0,
+                n_classes=3, planted_depth=5, noise=0.03, seed=81,
+            )
+        )
+        candidates = expand_grid(
+            TreeConfig(), {"max_depth": [1, 8], "tau_leaf": [1]}
+        )
+        result = grid_search(table, candidates, small_system(), seed=1)
+        assert result.best in result.results
+        assert len(result.results) == 2
+        assert result.sim_seconds > 0
+        # A depth-1 stump cannot win against a real tree on clean 3-class
+        # data with depth-5 planted structure.
+        assert result.best.candidate.config.max_depth == 8
+
+    def test_ranking_order(self, small_mixed_classification):
+        candidates = expand_grid(TreeConfig(), {"max_depth": [1, 4, 8]})
+        result = grid_search(
+            small_mixed_classification, candidates, small_system(), seed=2
+        )
+        ranking = result.ranking()
+        assert ranking[0].quality >= ranking[-1].quality
+        assert result.best.quality == ranking[0].quality
+
+    def test_regression_uses_rmse(self, small_regression):
+        candidates = expand_grid(TreeConfig(), {"max_depth": [2, 6]})
+        result = grid_search(
+            small_regression, candidates, small_system(), seed=3
+        )
+        assert result.best.quality_metric == "rmse"
+        ranking = result.ranking()
+        assert ranking[0].quality <= ranking[-1].quality  # lower is better
+
+    def test_pooled_run_not_slower_than_sequential(
+        self, small_mixed_classification
+    ):
+        """The Section III claim: pooling candidates' tasks in one run is
+        at least as fast as training candidates one per run."""
+        candidates = expand_grid(TreeConfig(), {"max_depth": [3, 5, 7, 9]})
+        result = grid_search(
+            small_mixed_classification, candidates, small_system(), seed=4
+        )
+        assert result.sim_seconds <= result.sequential_sim_seconds * 1.02
+
+    def test_models_returned(self, small_mixed_classification):
+        candidates = expand_grid(TreeConfig(), {"max_depth": [4]})
+        result = grid_search(
+            small_mixed_classification, candidates, small_system(), seed=5
+        )
+        model = result.models[candidates[0].name]
+        assert model.predict(small_mixed_classification).shape[0] == (
+            small_mixed_classification.n_rows
+        )
+
+    def test_duplicate_names_rejected(self, small_mixed_classification):
+        candidate = Candidate("same", TreeConfig())
+        with pytest.raises(ValueError, match="unique"):
+            grid_search(
+                small_mixed_classification,
+                [candidate, candidate],
+                small_system(),
+            )
+
+    def test_no_candidates_rejected(self, small_mixed_classification):
+        with pytest.raises(ValueError, match="no candidates"):
+            grid_search(small_mixed_classification, [], small_system())

@@ -1,0 +1,162 @@
+"""Tests for model persistence and the command-line interface."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import TreeConfig, train_tree, trees_equal
+from repro.core.persistence import (
+    load_model_hdfs,
+    load_model_local,
+    save_model_hdfs,
+    save_model_local,
+)
+from repro.data import write_csv
+from repro.hdfs import SimHdfs
+
+
+class TestPersistence:
+    def test_local_round_trip(self, small_mixed_classification, tmp_path):
+        table = small_mixed_classification
+        trees = [
+            train_tree(table, TreeConfig(max_depth=5, seed=i)) for i in range(3)
+        ]
+        save_model_local(tmp_path / "model", "rf", trees)
+        model = load_model_local(tmp_path / "model")
+        assert model.n_trees == 3
+        for original, loaded in zip(trees, model.trees):
+            assert trees_equal(original, loaded)
+
+    def test_hdfs_round_trip(self, small_regression):
+        fs = SimHdfs()
+        trees = [train_tree(small_regression, TreeConfig(max_depth=4))]
+        save_model_hdfs(fs, "/models/reg", "dt", trees)
+        model = load_model_hdfs(fs, "/models/reg")
+        np.testing.assert_allclose(
+            model.predict(small_regression),
+            trees[0].predict(small_regression),
+        )
+
+    def test_manifest_contents(self, small_mixed_classification, tmp_path):
+        trees = [train_tree(small_mixed_classification, TreeConfig(max_depth=3))]
+        save_model_local(tmp_path / "m", "solo", trees)
+        manifest = json.loads((tmp_path / "m" / "_model.json").read_text())
+        assert manifest["name"] == "solo"
+        assert manifest["n_trees"] == 1
+        assert manifest["problem"] == "classification"
+
+    def test_empty_model_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_model_local(tmp_path, "x", [])
+        with pytest.raises(ValueError):
+            save_model_hdfs(SimHdfs(), "/m", "x", [])
+
+    def test_predictions_survive_round_trip(
+        self, small_mixed_classification, tmp_path
+    ):
+        table = small_mixed_classification
+        trees = [
+            train_tree(table, TreeConfig(max_depth=6, seed=i)) for i in range(2)
+        ]
+        save_model_local(tmp_path / "model", "rf", trees)
+        model = load_model_local(tmp_path / "model")
+        from repro.ensemble import ForestModel
+
+        np.testing.assert_allclose(
+            model.predict_proba(table),
+            ForestModel(trees).predict_proba(table),
+        )
+
+
+class TestCli:
+    @pytest.fixture
+    def csv_path(self, small_mixed_classification, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(small_mixed_classification, path)
+        return path
+
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_train_and_evaluate(self, csv_path, tmp_path):
+        model_dir = tmp_path / "model"
+        code, output = self._run(
+            [
+                "train", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--max-depth", "6",
+                "--workers", "3", "--compers", "2",
+            ]
+        )
+        assert code == 0
+        assert "trained 1 tree(s)" in output
+        assert (model_dir / "_model.json").exists()
+
+        code, output = self._run(
+            [
+                "evaluate", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir),
+            ]
+        )
+        assert code == 0
+        assert "accuracy:" in output
+        value = float(output.split("accuracy:")[1])
+        assert value > 0.5  # training-set accuracy of a depth-6 exact tree
+
+    def test_train_forest(self, csv_path, tmp_path):
+        model_dir = tmp_path / "forest"
+        code, output = self._run(
+            [
+                "train", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--forest", "4",
+                "--workers", "3", "--compers", "2", "--max-depth", "5",
+            ]
+        )
+        assert code == 0
+        assert "trained 4 tree(s)" in output
+
+    def test_predict_writes_output(self, csv_path, tmp_path):
+        model_dir = tmp_path / "model"
+        self._run(
+            [
+                "train", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--max-depth", "4",
+                "--workers", "2", "--compers", "2",
+            ]
+        )
+        out_path = tmp_path / "preds.csv"
+        code, output = self._run(
+            [
+                "predict", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert lines[0] == "prediction"
+        assert len(lines) == 301  # header + 300 rows
+
+    def test_datasets_listing(self):
+        code, output = self._run(["datasets"])
+        assert code == 0
+        assert "higgs_boson" in output
+        assert "allstate" in output
+
+    def test_datasets_materialize(self, tmp_path):
+        out_path = tmp_path / "ds.csv"
+        code, output = self._run(
+            [
+                "datasets", "--materialize", "susy", "--small",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+    def test_materialize_without_out_fails(self):
+        code, _ = self._run(["datasets", "--materialize", "susy"])
+        assert code == 2

@@ -1,0 +1,103 @@
+"""Tests for the distributed batch-prediction job."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemConfig, TreeConfig, train_tree
+from repro.core.jobs import random_forest_job
+from repro.core.predictor import (
+    distributed_predict,
+    model_size_bytes,
+    predict_from_hdfs,
+    publish_and_predict,
+)
+from repro.cluster import CostModel
+from repro.ensemble import ForestModel
+from repro.hdfs import SimHdfs
+
+
+def make_forest(table, n_trees=3, seed=0):
+    job = random_forest_job("rf", n_trees, TreeConfig(max_depth=5), seed=seed)
+    return ForestModel(
+        [train_tree(table, t.config) for t in job.stages[0].trees]
+    )
+
+
+class TestDistributedPredict:
+    def test_predictions_match_model(self, small_mixed_classification):
+        table = small_mixed_classification
+        forest = make_forest(table)
+        report = distributed_predict(
+            forest, table, SystemConfig(n_workers=4, compers_per_worker=2)
+        )
+        np.testing.assert_array_equal(report.predictions, forest.predict(table))
+
+    def test_regression_predictions(self, small_regression):
+        forest = make_forest(small_regression, n_trees=2)
+        report = distributed_predict(
+            forest,
+            small_regression,
+            SystemConfig(n_workers=3, compers_per_worker=2),
+        )
+        np.testing.assert_allclose(
+            report.predictions, forest.predict_values(small_regression)
+        )
+
+    def test_time_breakdown(self, small_mixed_classification):
+        forest = make_forest(small_mixed_classification)
+        report = distributed_predict(
+            forest,
+            small_mixed_classification,
+            SystemConfig(n_workers=4, compers_per_worker=2),
+        )
+        assert report.sim_seconds == pytest.approx(
+            report.model_load_seconds
+            + report.traversal_seconds
+            + report.gather_seconds
+        )
+        assert report.model_bytes > 0
+
+    def test_more_workers_cost_more_model_load(self, small_mixed_classification):
+        """Every machine loads the whole model — broadcast cost grows."""
+        forest = make_forest(small_mixed_classification)
+        few = distributed_predict(
+            forest, small_mixed_classification,
+            SystemConfig(n_workers=2, compers_per_worker=2),
+        )
+        many = distributed_predict(
+            forest, small_mixed_classification,
+            SystemConfig(n_workers=12, compers_per_worker=2),
+        )
+        assert many.model_load_seconds > few.model_load_seconds
+        assert many.traversal_seconds < few.traversal_seconds
+
+    def test_model_size_scales_with_nodes(self, small_mixed_classification):
+        small = make_forest(small_mixed_classification, n_trees=1)
+        large = make_forest(small_mixed_classification, n_trees=5)
+        cost = CostModel()
+        assert model_size_bytes(large, cost) > model_size_bytes(small, cost)
+
+
+class TestHdfsRoundTrip:
+    def test_publish_and_predict(self, small_mixed_classification):
+        table = small_mixed_classification
+        forest = make_forest(table)
+        fs = SimHdfs()
+        report = publish_and_predict(
+            fs, "/models/rf", "rf", forest, table,
+            SystemConfig(n_workers=3, compers_per_worker=2),
+        )
+        np.testing.assert_array_equal(report.predictions, forest.predict(table))
+        assert fs.exists("/models/rf/_model.json")
+
+    def test_predict_from_hdfs_equals_direct(self, small_mixed_classification):
+        table = small_mixed_classification
+        forest = make_forest(table, seed=4)
+        fs = SimHdfs()
+        from repro.core.persistence import save_model_hdfs
+
+        save_model_hdfs(fs, "/m", "rf", forest.trees)
+        loaded = predict_from_hdfs(
+            fs, "/m", table, SystemConfig(n_workers=2, compers_per_worker=2)
+        )
+        np.testing.assert_array_equal(loaded.predictions, forest.predict(table))

@@ -1,0 +1,200 @@
+"""Tests for the Appendix-G preprocessing: joins and cleansing."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ColumnKind,
+    ColumnSpec,
+    DataTable,
+    MISSING_CODE,
+    ProblemKind,
+    TableSchema,
+)
+from repro.data.preprocess import (
+    cleanse,
+    drop_sparse_columns,
+    fill_missing,
+    join_tables,
+)
+
+
+def origination_table() -> DataTable:
+    """A tiny 'Origination Data' stand-in keyed by loan sequence number."""
+    schema = TableSchema(
+        (
+            ColumnSpec("loan_seq", ColumnKind.CATEGORICAL, ("L1", "L2", "L3", "L4")),
+            ColumnSpec("credit_score", ColumnKind.NUMERIC),
+        ),
+        ColumnSpec("default", ColumnKind.CATEGORICAL, ("no", "yes")),
+        ProblemKind.CLASSIFICATION,
+    )
+    return DataTable(
+        schema,
+        [
+            np.array([0, 1, 2, 3], dtype=np.int32),
+            np.array([700.0, 650.0, 800.0, 720.0]),
+        ],
+        np.array([0, 1, 0, 0], dtype=np.int32),
+    )
+
+
+def monthly_table() -> DataTable:
+    """A 'Monthly Performance' stand-in (unique key per loan here)."""
+    schema = TableSchema(
+        (
+            ColumnSpec("loan_seq", ColumnKind.CATEGORICAL, ("L2", "L1", "L5")),
+            ColumnSpec("balance", ColumnKind.NUMERIC),
+        ),
+        ColumnSpec("ignored", ColumnKind.CATEGORICAL, ("x",)),
+        ProblemKind.CLASSIFICATION,
+    )
+    return DataTable(
+        schema,
+        [
+            np.array([0, 1, 2], dtype=np.int32),
+            np.array([120.0, 95.0, 40.0]),
+        ],
+        np.zeros(3, dtype=np.int32),
+    )
+
+
+class TestJoin:
+    def test_inner_join_matches_by_label(self):
+        joined = join_tables(origination_table(), monthly_table(), "loan_seq")
+        # L1 and L2 match; L3, L4 have no monthly rows.
+        assert joined.n_rows == 2
+        names = [c.name for c in joined.schema.columns]
+        assert names == ["credit_score", "balance"]
+        # L1 -> balance 95 (right row 1), L2 -> balance 120 (right row 0).
+        scores = joined.column(0).tolist()
+        balances = joined.column(1).tolist()
+        assert (700.0 in scores) and (650.0 in scores)
+        pair = dict(zip(scores, balances))
+        assert pair[700.0] == 95.0
+        assert pair[650.0] == 120.0
+
+    def test_target_comes_from_left(self):
+        joined = join_tables(origination_table(), monthly_table(), "loan_seq")
+        assert joined.schema.target.name == "default"
+        assert set(joined.target.tolist()) == {0, 1}
+
+    def test_duplicate_right_key_rejected(self):
+        right = monthly_table()
+        right.columns[0][2] = right.columns[0][0]  # duplicate L2
+        with pytest.raises(ValueError, match="unique"):
+            join_tables(origination_table(), right, "loan_seq")
+
+    def test_kind_mismatch_rejected(self):
+        left = origination_table()
+        schema = TableSchema(
+            (
+                ColumnSpec("loan_seq", ColumnKind.NUMERIC),
+                ColumnSpec("balance", ColumnKind.NUMERIC),
+            ),
+            ColumnSpec("y", ColumnKind.NUMERIC),
+            ProblemKind.REGRESSION,
+        )
+        right = DataTable(
+            schema,
+            [np.array([1.0, 2.0]), np.array([3.0, 4.0])],
+            np.array([0.0, 0.0]),
+        )
+        with pytest.raises(ValueError, match="kinds differ"):
+            join_tables(left, right, "loan_seq")
+
+    def test_empty_join_rejected(self):
+        schema = TableSchema(
+            (
+                ColumnSpec("loan_seq", ColumnKind.CATEGORICAL, ("L8", "L9")),
+                ColumnSpec("balance", ColumnKind.NUMERIC),
+            ),
+            ColumnSpec("ignored", ColumnKind.CATEGORICAL, ("x",)),
+            ProblemKind.CLASSIFICATION,
+        )
+        right = DataTable(
+            schema,
+            [np.array([0, 1], dtype=np.int32), np.array([1.0, 2.0])],
+            np.zeros(2, dtype=np.int32),
+        )
+        with pytest.raises(ValueError, match="no rows"):
+            join_tables(origination_table(), right, "loan_seq")
+
+    def test_name_collision_suffixed(self):
+        left = origination_table()
+        right = monthly_table()
+        # Rename right's balance to collide with left's credit_score.
+        schema = TableSchema(
+            (
+                right.schema.columns[0],
+                ColumnSpec("credit_score", ColumnKind.NUMERIC),
+            ),
+            right.schema.target,
+            right.problem,
+        )
+        right = DataTable(schema, list(right.columns), right.target)
+        joined = join_tables(left, right, "loan_seq")
+        names = [c.name for c in joined.schema.columns]
+        assert "credit_score" in names and "credit_score_r" in names
+
+
+class TestCleansing:
+    def make_sparse(self) -> DataTable:
+        schema = TableSchema(
+            (
+                ColumnSpec("mostly_missing", ColumnKind.NUMERIC),
+                ColumnSpec("some_missing", ColumnKind.NUMERIC),
+                ColumnSpec("cat", ColumnKind.CATEGORICAL, ("a", "b")),
+            ),
+            ColumnSpec("y", ColumnKind.CATEGORICAL, ("0", "1")),
+            ProblemKind.CLASSIFICATION,
+        )
+        return DataTable(
+            schema,
+            [
+                np.array([np.nan, np.nan, np.nan, 1.0]),
+                np.array([1.0, np.nan, 3.0, 5.0]),
+                np.array([0, MISSING_CODE, 1, 0], dtype=np.int32),
+            ],
+            np.array([0, 1, 0, 1], dtype=np.int32),
+        )
+
+    def test_drop_sparse_columns(self):
+        cleaned = drop_sparse_columns(self.make_sparse(), 0.5)
+        names = [c.name for c in cleaned.schema.columns]
+        assert names == ["some_missing", "cat"]
+
+    def test_drop_all_rejected(self):
+        with pytest.raises(ValueError):
+            drop_sparse_columns(self.make_sparse(), 0.0)
+
+    def test_fill_missing_numeric_mean(self):
+        filled = fill_missing(self.make_sparse())
+        col = filled.column(1)
+        assert not np.isnan(col).any()
+        assert col[1] == pytest.approx((1.0 + 3.0 + 5.0) / 3)
+
+    def test_fill_missing_categorical_mode(self):
+        filled = fill_missing(self.make_sparse())
+        col = filled.column(2)
+        assert (col != MISSING_CODE).all()
+        assert col[1] == 0  # mode of [0, 1, 0]
+
+    def test_cleanse_pipeline(self):
+        cleaned = cleanse(self.make_sparse(), 0.5)
+        assert cleaned.n_columns == 2
+        for i in range(cleaned.n_columns):
+            assert not cleaned.missing_mask(i).any()
+
+    def test_cleanse_enables_mllib_style_training(self):
+        """The paper's reason for cleansing: MLlib cannot take missing
+        values, so the Allstate-like table is cleansed for it."""
+        from repro.baselines import PlanetTrainer
+        from repro.core import TreeConfig
+        from repro.datasets import dataset_spec, generate
+
+        table = generate(dataset_spec("allstate", small=True))
+        assert any(table.missing_mask(i).any() for i in range(table.n_columns))
+        cleaned = fill_missing(table)
+        report = PlanetTrainer().fit(cleaned, TreeConfig(max_depth=4))
+        assert report.tree().n_nodes >= 3

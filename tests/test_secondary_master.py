@@ -1,0 +1,155 @@
+"""Tests for secondary-master failover (paper Appendix E)."""
+
+import pytest
+
+from repro.cluster import CrashPlan
+from repro.core import (
+    SystemConfig,
+    TreeConfig,
+    TreeServer,
+    decision_tree_job,
+    random_forest_job,
+    staged_job,
+    trees_equal,
+)
+from repro.datasets import SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate(
+        SyntheticSpec(
+            name="sm", n_rows=500, n_numeric=4, n_categorical=1,
+            n_classes=2, planted_depth=4, noise=0.1, seed=55,
+        )
+    )
+
+
+def system_for(table) -> SystemConfig:
+    return SystemConfig(n_workers=4, compers_per_worker=2).scaled_to(
+        table.n_rows
+    )
+
+
+def forest_job(seed=9, n=6):
+    return random_forest_job("rf", n, TreeConfig(max_depth=6), seed=seed)
+
+
+class TestMasterFailover:
+    def test_crash_midway_preserves_models(self, table):
+        system = system_for(table)
+        clean = TreeServer(system).fit(table, [forest_job()])
+        crashed = TreeServer(system).fit(
+            table,
+            [forest_job()],
+            crash_plans=[CrashPlan(machine_id=0, at_time=clean.sim_seconds / 2)],
+            secondary_master=True,
+        )
+        assert all(
+            trees_equal(a, b)
+            for a, b in zip(clean.trees("rf"), crashed.trees("rf"))
+        )
+        # Failover costs time: re-planning the incomplete trees.
+        assert crashed.sim_seconds > clean.sim_seconds
+
+    def test_crash_at_start_retrains_everything(self, table):
+        system = system_for(table)
+        clean = TreeServer(system).fit(table, [forest_job(seed=3)])
+        crashed = TreeServer(system).fit(
+            table,
+            [forest_job(seed=3)],
+            crash_plans=[CrashPlan(machine_id=0, at_time=0.0)],
+            secondary_master=True,
+        )
+        assert all(
+            trees_equal(a, b)
+            for a, b in zip(clean.trees("rf"), crashed.trees("rf"))
+        )
+
+    def test_crash_near_end_reuses_synced_trees(self, table):
+        """Trees checkpointed to the secondary are not retrained."""
+        system = system_for(table)
+        clean = TreeServer(system).fit(table, [forest_job(seed=5)])
+        late = clean.sim_seconds * 0.95
+        crashed = TreeServer(system).fit(
+            table,
+            [forest_job(seed=5)],
+            crash_plans=[CrashPlan(machine_id=0, at_time=late)],
+            secondary_master=True,
+        )
+        # The second generation only dispatched plans for the remainder.
+        assert crashed.counters.trees_completed < 6
+        assert len(crashed.trees("rf")) == 6
+        assert all(
+            trees_equal(a, b)
+            for a, b in zip(clean.trees("rf"), crashed.trees("rf"))
+        )
+
+    def test_master_crash_without_secondary_rejected(self, table):
+        with pytest.raises(ValueError, match="secondary"):
+            TreeServer(system_for(table)).fit(
+                table,
+                [decision_tree_job("dt")],
+                crash_plans=[CrashPlan(machine_id=0, at_time=0.001)],
+            )
+
+    def test_secondary_enabled_without_crash_is_harmless(self, table):
+        system = system_for(table)
+        clean = TreeServer(system).fit(table, [forest_job(seed=7)])
+        with_standby = TreeServer(system).fit(
+            table, [forest_job(seed=7)], secondary_master=True
+        )
+        assert all(
+            trees_equal(a, b)
+            for a, b in zip(clean.trees("rf"), with_standby.trees("rf"))
+        )
+
+    def test_staged_job_survives_failover(self, table):
+        system = system_for(table)
+        job = staged_job(
+            "boost",
+            [
+                [TreeConfig(max_depth=4, seed=1), TreeConfig(max_depth=4, seed=2)],
+                [TreeConfig(max_depth=4, seed=3)],
+            ],
+        )
+        clean = TreeServer(system).fit(table, [job])
+        crashed = TreeServer(system).fit(
+            table,
+            [staged_job(
+                "boost",
+                [
+                    [TreeConfig(max_depth=4, seed=1),
+                     TreeConfig(max_depth=4, seed=2)],
+                    [TreeConfig(max_depth=4, seed=3)],
+                ],
+            )],
+            crash_plans=[CrashPlan(machine_id=0, at_time=clean.sim_seconds / 3)],
+            secondary_master=True,
+        )
+        assert len(crashed.trees("boost")) == 3
+        assert all(
+            trees_equal(a, b)
+            for a, b in zip(clean.trees("boost"), crashed.trees("boost"))
+        )
+
+    def test_master_then_worker_crash(self, table):
+        """A worker crash after failover routes to the promoted master."""
+        system = SystemConfig(
+            n_workers=5, compers_per_worker=2, column_replication=2
+        ).scaled_to(table.n_rows)
+        clean = TreeServer(system).fit(table, [forest_job(seed=11)])
+        t = clean.sim_seconds
+        crashed = TreeServer(system).fit(
+            table,
+            [forest_job(seed=11)],
+            crash_plans=[
+                CrashPlan(machine_id=0, at_time=t / 4),
+                CrashPlan(machine_id=3, at_time=t * 2),
+            ],
+            secondary_master=True,
+        )
+        assert all(
+            trees_equal(a, b)
+            for a, b in zip(clean.trees("rf"), crashed.trees("rf"))
+        )

@@ -1,0 +1,69 @@
+"""Tests for the Yggdrasil-style exact columnar baseline."""
+
+import pytest
+
+from repro.baselines import YggdrasilConfig, YggdrasilTrainer
+from repro.core import TreeConfig, train_tree, trees_equal
+
+
+class TestYggdrasil:
+    def test_model_is_the_exact_tree(self, small_mixed_classification):
+        cfg = TreeConfig(max_depth=6)
+        report = YggdrasilTrainer().fit(small_mixed_classification, cfg)
+        assert trees_equal(
+            report.tree(), train_tree(small_mixed_classification, cfg)
+        )
+
+    def test_ledger_components(self, small_mixed_classification):
+        report = YggdrasilTrainer().fit(
+            small_mixed_classification, TreeConfig(max_depth=5)
+        )
+        assert report.sim_seconds == pytest.approx(
+            report.compute_seconds
+            + report.broadcast_seconds
+            + report.overhead_seconds
+        )
+        assert report.n_levels >= 1
+        assert report.broadcast_seconds > 0
+
+    def test_forest_is_sequential(self, small_mixed_classification):
+        one = YggdrasilTrainer().fit(
+            small_mixed_classification, TreeConfig(max_depth=5)
+        )
+        five = YggdrasilTrainer().fit(
+            small_mixed_classification, TreeConfig(max_depth=5), n_trees=5,
+            seed=1,
+        )
+        assert len(five.trees) == 5
+        # Level-synchronous trees run one after another: ~5x one tree
+        # (forest trees are cheaper per tree due to sqrt-column sampling,
+        # so allow a wide band below 5x).
+        assert 1.5 < five.sim_seconds / one.sim_seconds < 7.0
+
+    def test_parallelism_capped_by_columns(self, small_mixed_classification):
+        """More threads than columns cannot speed the level scan up."""
+        few = YggdrasilTrainer(
+            YggdrasilConfig(n_machines=2, threads_per_machine=4)
+        ).fit(small_mixed_classification, TreeConfig(max_depth=5))
+        many = YggdrasilTrainer(
+            YggdrasilConfig(n_machines=20, threads_per_machine=10)
+        ).fit(small_mixed_classification, TreeConfig(max_depth=5))
+        # 7 columns: 8 cores already exceed the cap, 200 cores gain nothing.
+        assert many.compute_seconds == pytest.approx(few.compute_seconds)
+
+    def test_broadcast_scales_with_machines(self, small_mixed_classification):
+        small = YggdrasilTrainer(
+            YggdrasilConfig(n_machines=4, threads_per_machine=10)
+        ).fit(small_mixed_classification, TreeConfig(max_depth=5))
+        large = YggdrasilTrainer(
+            YggdrasilConfig(n_machines=16, threads_per_machine=10)
+        ).fit(small_mixed_classification, TreeConfig(max_depth=5))
+        assert large.broadcast_seconds > small.broadcast_seconds
+
+    def test_tree_helper_rejects_forest(self, small_mixed_classification):
+        report = YggdrasilTrainer().fit(
+            small_mixed_classification, TreeConfig(max_depth=4), n_trees=2,
+            seed=1,
+        )
+        with pytest.raises(ValueError):
+            report.tree()
