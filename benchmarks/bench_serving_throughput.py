@@ -1,0 +1,170 @@
+"""Serving throughput: flat-array kernel vs node-based descent (wall-clock).
+
+Measures real prediction speed on a 100k-row batch through three engines:
+
+* **per-row descent** — ``DecisionTree.predict_row`` in a Python loop, the
+  textbook implementation (timed on a subsample, reported as rows/sec);
+* **node batch** — the training-side ``_fill`` recursion, which batches
+  rows per node but still walks Python tree objects;
+* **flat kernel** — the serving compiler + level-synchronous NumPy
+  traversal, the engine the registry/server/CLI deploy.
+
+It also replays the batch through the micro-batching
+:class:`~repro.serving.server.PredictionServer` in small client requests
+and reports p50/p99 request latency.  Besides the rendered table under
+``benchmarks/results/``, it writes machine-readable numbers to
+``BENCH_serving.json`` at the repo root.
+
+The asserted contract: the flat kernel is >= 10x per-row descent.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TreeConfig, train_tree
+from repro.datasets import SyntheticSpec, generate
+from repro.ensemble import ForestModel
+from repro.serving import (
+    BatchPredictor,
+    PredictionServer,
+    ServerConfig,
+    compile_forest,
+)
+
+from conftest import save_result
+
+N_ROWS = 100_000
+N_TRAIN = 10_000
+N_PER_ROW = 5_000  # per-row descent is timed on a subsample and scaled
+N_TREES = 3
+MAX_DEPTH = 8
+REQUEST_ROWS = 16  # client request size replayed through the server
+
+REPO_ROOT = Path(__file__).parents[1]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_serving_throughput(run_once):
+    spec = SyntheticSpec(
+        name="serving",
+        n_rows=N_ROWS,
+        n_numeric=5,
+        n_categorical=3,
+        n_classes=3,
+        planted_depth=5,
+        noise=0.1,
+        missing_rate=0.02,
+        seed=7,
+    )
+    table = generate(spec)
+    train = table.take(np.arange(N_TRAIN, dtype=np.int64))
+    forest = ForestModel(
+        [
+            train_tree(train, TreeConfig(max_depth=MAX_DEPTH, seed=i), tree_id=i)
+            for i in range(N_TREES)
+        ]
+    )
+    predictor = BatchPredictor(compile_forest(forest))
+
+    def experiment():
+        # Flat kernel over the full batch.
+        flat_preds, flat_seconds = _timed(lambda: predictor.predict(table))
+        flat_rps = table.n_rows / flat_seconds
+
+        # Node-based batch recursion (_fill) over the full batch.
+        node_preds, node_seconds = _timed(lambda: forest.predict(table))
+        node_rps = table.n_rows / node_seconds
+        np.testing.assert_array_equal(flat_preds, node_preds)
+
+        # Per-row Python descent, timed on a subsample.
+        sample = table.take(np.arange(N_PER_ROW, dtype=np.int64))
+        rows = [
+            [col[i] for col in sample.columns] for i in range(sample.n_rows)
+        ]
+
+        def per_row():
+            out = np.empty((sample.n_rows, forest.n_classes))
+            for i, row in enumerate(rows):
+                acc = np.zeros(forest.n_classes)
+                for tree in forest.trees:
+                    acc += tree.predict_row(row)
+                out[i] = acc / forest.n_trees
+            return np.argmax(out, axis=1)
+
+        row_preds, row_seconds = _timed(per_row)
+        row_rps = sample.n_rows / row_seconds
+        np.testing.assert_array_equal(row_preds, flat_preds[:N_PER_ROW])
+
+        # Micro-batching server replay in small client requests.
+        matrix = np.column_stack(
+            [np.asarray(col, dtype=np.float64) for col in table.columns]
+        )
+        config = ServerConfig(
+            max_batch_size=1024,
+            max_delay_seconds=0.002,
+            queue_capacity=8192,
+        )
+        max_in_flight = 64  # closed loop: bound queueing delay, not load
+        with PredictionServer(predictor, config) as server:
+            futures = []
+            drained = 0
+            for start in range(0, len(matrix), REQUEST_ROWS):
+                if len(futures) - drained >= max_in_flight:
+                    futures[drained].result(timeout=60.0)
+                    drained += 1
+                futures.append(
+                    server.submit(matrix[start : start + REQUEST_ROWS])
+                )
+            blocks = [f.result(timeout=60.0) for f in futures]
+            report = server.report()
+        np.testing.assert_array_equal(np.concatenate(blocks), flat_preds)
+
+        return {
+            "n_rows": table.n_rows,
+            "n_trees": N_TREES,
+            "max_depth": MAX_DEPTH,
+            "per_row_rows_per_second": row_rps,
+            "node_batch_rows_per_second": node_rps,
+            "flat_kernel_rows_per_second": flat_rps,
+            "flat_vs_per_row_speedup": flat_rps / row_rps,
+            "flat_vs_node_batch_speedup": node_rps and flat_rps / node_rps,
+            "server": report.to_dict(),
+        }
+
+    result = run_once(experiment)
+
+    lines = [
+        f"Serving throughput ({result['n_rows']:,} rows, "
+        f"{N_TREES} trees, depth {MAX_DEPTH})",
+        f"{'engine':24s}{'rows/sec':>14s}{'speedup':>10s}",
+        f"{'per-row descent':24s}"
+        f"{result['per_row_rows_per_second']:>14,.0f}{'1.0x':>10s}",
+        f"{'node batch (_fill)':24s}"
+        f"{result['node_batch_rows_per_second']:>14,.0f}"
+        f"{result['node_batch_rows_per_second'] / result['per_row_rows_per_second']:>9.1f}x",
+        f"{'flat kernel':24s}"
+        f"{result['flat_kernel_rows_per_second']:>14,.0f}"
+        f"{result['flat_vs_per_row_speedup']:>9.1f}x",
+        "",
+        f"server: {result['server']['n_requests']} requests of "
+        f"{REQUEST_ROWS} rows -> {result['server']['n_batches']} batches "
+        f"(avg {result['server']['avg_batch_rows']:.0f} rows), "
+        f"{result['server']['rows_per_second']:,.0f} rows/s, "
+        f"p50 {result['server']['p50_latency_ms']:.2f} ms, "
+        f"p99 {result['server']['p99_latency_ms']:.2f} ms",
+    ]
+    save_result("serving_throughput", "\n".join(lines))
+    (REPO_ROOT / "BENCH_serving.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+
+    assert result["flat_vs_per_row_speedup"] >= 10.0
+    assert result["server"]["rejected"] == 0

@@ -6,7 +6,12 @@ TreeServer's demo workflow:
 * ``train`` — load a CSV, train a decision tree / random forest /
   extra-trees model on the simulated TreeServer deployment, report run
   metrics, and save the model as JSON files.
-* ``predict`` — apply a saved model to a CSV and write predictions.
+* ``predict`` — apply a saved model to a CSV and write predictions
+  (compiled flat-array engine by default; ``--engine node`` for the
+  node-based reference descent).
+* ``serve`` — replay a CSV through the micro-batching
+  :class:`~repro.serving.server.PredictionServer` and report latency and
+  throughput counters.
 * ``evaluate`` — score a saved model against a labelled CSV.
 * ``datasets`` — list the built-in Table-I-shaped synthetic datasets and
   optionally materialize one as a CSV.
@@ -16,6 +21,8 @@ Usage::
     python -m repro.cli train --csv data.csv --target label \
         --model-dir model/ --forest 20 --workers 8
     python -m repro.cli predict --csv new.csv --model-dir model/ --out preds.csv
+    python -m repro.cli serve --csv new.csv --model-dir model/ --out preds.csv \
+        --batch-size 256 --max-delay-ms 2
     python -m repro.cli evaluate --csv held_out.csv --target label --model-dir model/
     python -m repro.cli datasets --materialize higgs_boson --out higgs.csv
 """
@@ -33,9 +40,12 @@ from .core.persistence import load_model_local, save_model_local
 from .core.server import TreeServer
 from .data.io import read_csv, write_csv
 from .data.schema import ProblemKind
+from .data.table import DataTable
 from .datasets.registry import dataset_names, dataset_spec
 from .datasets.synthetic import generate
 from .evaluation.metrics import accuracy, rmse
+from .serving.registry import load_compiled_local
+from .serving.server import PredictionServer, QueueFullError, ServerConfig
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +82,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="target column to ignore if present in the CSV",
     )
     predict.add_argument(
+        "--max-depth", type=int, default=None,
+        help="truncate prediction at this depth (Appendix D)",
+    )
+    predict.add_argument(
+        "--engine", choices=("flat", "node"), default="flat",
+        help="flat: compiled array kernel via the registry (default); "
+        "node: reference node-based descent",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a CSV through the micro-batching prediction server",
+    )
+    serve.add_argument("--csv", required=True, help="rows to serve")
+    serve.add_argument("--model-dir", required=True)
+    serve.add_argument("--out", required=True, help="output CSV path")
+    serve.add_argument(
+        "--target", default=None,
+        help="target column to ignore if present in the CSV",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=256,
+        help="flush a micro-batch at this many rows",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="flush when the oldest queued request is this old",
+    )
+    serve.add_argument("--queue-capacity", type=int, default=4096)
+    serve.add_argument(
+        "--request-rows", type=int, default=1,
+        help="rows per simulated client request",
+    )
+    serve.add_argument(
         "--max-depth", type=int, default=None,
         help="truncate prediction at this depth (Appendix D)",
     )
@@ -128,21 +172,18 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cmd_predict(args: argparse.Namespace, out) -> int:
-    model = load_model_local(args.model_dir)
-    problem = (
-        ProblemKind.CLASSIFICATION
-        if model.problem is ProblemKind.CLASSIFICATION
-        else ProblemKind.REGRESSION
-    )
+def _read_feature_csv(
+    path: str, target: str | None, problem: ProblemKind
+) -> DataTable:
+    """Read a prediction-input CSV, tolerating a missing target column."""
     try:
-        table = read_csv(args.csv, target=args.target or "", problem=problem)
+        return read_csv(path, target=target or "", problem=problem)
     except ValueError:
         # No target column in the CSV: append a dummy one.
         import csv as csv_module
         import io
 
-        with open(args.csv, newline="") as handle:
+        with open(path, newline="") as handle:
             rows = list(csv_module.reader(handle))
         dummy = "0" if problem is ProblemKind.CLASSIFICATION else "0.0"
         buffer = io.StringIO()
@@ -152,13 +193,73 @@ def _cmd_predict(args: argparse.Namespace, out) -> int:
             if row:
                 writer.writerow(row + [dummy])
         buffer.seek(0)
-        table = read_csv(buffer, target="__target__", problem=problem)
-    predictions = model.predict(table, max_depth=args.max_depth)
-    with open(args.out, "w") as handle:
+        return read_csv(buffer, target="__target__", problem=problem)
+
+
+def _write_predictions(path: str, predictions) -> None:
+    with open(path, "w") as handle:
         handle.write("prediction\n")
         for value in predictions:
             handle.write(f"{value}\n")
-    print(f"wrote {len(predictions)} predictions to {args.out}", file=out)
+
+
+def _cmd_predict(args: argparse.Namespace, out) -> int:
+    if args.engine == "flat":
+        entry, cache_hit = load_compiled_local(args.model_dir)
+        engine = entry.predictor
+        note = (
+            f"engine=flat ({entry.n_trees} tree(s), "
+            f"{entry.compiled.total_nodes()} nodes, "
+            f"{'cache hit' if cache_hit else 'compiled'})"
+        )
+    else:
+        engine = load_model_local(args.model_dir)
+        note = "engine=node"
+    table = _read_feature_csv(args.csv, args.target, engine.problem)
+    predictions = engine.predict(table, max_depth=args.max_depth)
+    _write_predictions(args.out, predictions)
+    print(
+        f"wrote {len(predictions)} predictions to {args.out} [{note}]",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    entry, _ = load_compiled_local(args.model_dir)
+    table = _read_feature_csv(args.csv, args.target, entry.predictor.problem)
+    config = ServerConfig(
+        max_batch_size=args.batch_size,
+        max_delay_seconds=args.max_delay_ms / 1e3,
+        queue_capacity=args.queue_capacity,
+        max_depth=args.max_depth,
+    )
+    chunk = max(1, args.request_rows)
+    matrix = np.column_stack(
+        [np.asarray(col, dtype=np.float64) for col in table.columns]
+    ) if table.n_columns else np.zeros((table.n_rows, 0))
+    predictions: list[np.ndarray] = []
+    with PredictionServer(entry.predictor, config) as server:
+        futures = []
+        drained = 0  # backpressure cursor: oldest future not yet waited on
+        for start in range(0, table.n_rows, chunk):
+            rows = matrix[start : start + chunk]
+            while True:
+                try:
+                    futures.append(server.submit(rows))
+                    break
+                except QueueFullError:
+                    # Bounded queue is full: absorb it as backpressure by
+                    # waiting for the oldest in-flight request to finish.
+                    futures[drained].result(timeout=60.0)
+                    drained += 1
+        for future in futures:
+            predictions.append(future.result(timeout=60.0))
+        report = server.report()
+    flat = np.concatenate(predictions) if predictions else np.empty(0)
+    _write_predictions(args.out, flat)
+    print(f"wrote {len(flat)} predictions to {args.out}", file=out)
+    print(report.summary(), file=out)
     return 0
 
 
@@ -204,6 +305,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
             return _cmd_train(args, out)
         if args.command == "predict":
             return _cmd_predict(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         if args.command == "evaluate":
             return _cmd_evaluate(args, out)
         if args.command == "datasets":

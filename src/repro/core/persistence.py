@@ -10,8 +10,10 @@ matching loader.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
+from typing import Iterable
 
 from ..ensemble.forest import ForestModel
 from ..hdfs.filesystem import SimHdfs
@@ -79,3 +81,56 @@ def load_model_local(directory: str | Path) -> ForestModel:
         for filename in manifest["trees"]
     ]
     return ForestModel(trees)
+
+
+# ----------------------------------------------------------------------
+# content fingerprints (serving registry keys)
+# ----------------------------------------------------------------------
+# The serving registry caches compiled models under a content hash of the
+# *persisted* form.  The manifest is excluded — it carries the job-chosen
+# model name, which must not defeat caching when two jobs publish the same
+# trees — so the key covers exactly the per-tree JSON payloads, in manifest
+# order.  Saving and reloading a model round-trips its JSON byte-for-byte
+# (plain dicts of ints/floats in fixed insertion order), so the fingerprint
+# of an in-memory model equals the fingerprint of its files.
+
+def fingerprint_payloads(payloads: Iterable[bytes]) -> str:
+    """SHA-256 over length-prefixed payloads (order-sensitive)."""
+    digest = hashlib.sha256()
+    for payload in payloads:
+        digest.update(len(payload).to_bytes(8, "big"))
+        digest.update(payload)
+    return digest.hexdigest()
+
+
+def tree_payload(tree: DecisionTree) -> bytes:
+    """The exact bytes :func:`save_model_local` / ``_hdfs`` write for a tree."""
+    return json.dumps(tree.to_dict()).encode()
+
+
+def fingerprint_trees(trees: list[DecisionTree]) -> str:
+    """Content fingerprint of an in-memory model (persisted-form hash)."""
+    return fingerprint_payloads(tree_payload(t) for t in trees)
+
+
+def model_fingerprint_local(directory: str | Path) -> str:
+    """Fingerprint a locally saved model without parsing its trees."""
+    path = Path(directory)
+    manifest = json.loads((path / MANIFEST).read_text())
+    return fingerprint_payloads(
+        (path / filename).read_bytes() for filename in manifest["trees"]
+    )
+
+
+def model_fingerprint_hdfs(fs: SimHdfs, base_path: str) -> str:
+    """Fingerprint a DFS-saved model without parsing its trees."""
+    base = base_path.rstrip("/")
+    with fs.open(f"{base}/{MANIFEST}") as reader:
+        manifest = json.loads(reader.read().decode())
+
+    def payloads() -> Iterable[bytes]:
+        for filename in manifest["trees"]:
+            with fs.open(f"{base}/{filename}") as reader:
+                yield reader.read()
+
+    return fingerprint_payloads(payloads())

@@ -17,6 +17,7 @@ this module:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -66,6 +67,22 @@ class TreeNode:
                 stack.append(node.right)
             if node.left is not None:
                 stack.append(node.left)
+
+    def breadth_first(self) -> Iterator["TreeNode"]:
+        """Level-order traversal of the subtree rooted here.
+
+        The serving compiler lays nodes out in this order so that during
+        level-synchronous batch traversal every active row reads from one
+        contiguous band of the flat arrays.
+        """
+        queue: deque[TreeNode] = deque([self])
+        while queue:
+            node = queue.popleft()
+            yield node
+            if node.left is not None:
+                queue.append(node.left)
+            if node.right is not None:
+                queue.append(node.right)
 
     def count_nodes(self) -> int:
         """Number of nodes in the subtree rooted here."""

@@ -168,3 +168,16 @@ class CascadeForest:
         if not self.layers:
             raise RuntimeError("cascade not fitted")
         return np.argmax(self.predict_proba_per_layer(grain_features)[-1], axis=1)
+
+    def compiled(self):
+        """Freeze the fitted cascade into flat-array serving form.
+
+        Returns a :class:`~repro.serving.compiler.CompiledCascade` whose
+        prediction is parity-tested identical to this object's, with every
+        forest traversed by the vectorized kernel — the form the serving
+        layer deploys (deep-forest inference is the paper's Section VII
+        row-parallel workload).
+        """
+        from ..serving.compiler import compile_cascade
+
+        return compile_cascade(self)

@@ -81,3 +81,15 @@ class ForestModel:
     def total_nodes(self) -> int:
         """Total node count across all trees (model-size diagnostics)."""
         return sum(tree.n_nodes for tree in self.trees)
+
+    def compiled(self):
+        """Freeze this forest into its flat-array serving form.
+
+        Returns a :class:`~repro.serving.batch.BatchPredictor` over the
+        compiled arrays — the engine the serving layer deploys, with
+        parity-tested bit-identical predictions.
+        """
+        from ..serving.batch import BatchPredictor
+        from ..serving.compiler import compile_forest
+
+        return BatchPredictor(compile_forest(self))

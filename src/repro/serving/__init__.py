@@ -1,0 +1,62 @@
+"""Inference serving: flat-array tree kernels, registry and server.
+
+Training-side modules keep the paper's node-centric ``TreeNode`` objects —
+they are what the master grafts subtree-task results onto.  Serving has the
+opposite access pattern: millions of rows descend a *frozen* tree, so this
+package compiles trained models into contiguous structure-of-arrays form
+(the layout step that "Breadth-first, Depth-next" and the GPU-boosting line
+of work identify as the key to hardware-speed traversal) and serves them:
+
+* :mod:`compiler` — flatten ``DecisionTree`` / ``ForestModel`` / cascade
+  forests into :class:`FlatTree` / :class:`FlatForest` /
+  :class:`CompiledCascade` arrays, exact parity with node-based descent;
+* :mod:`batch` — level-synchronous vectorized traversal over those arrays
+  (``predict`` / ``predict_proba`` / truncated-depth prediction);
+* :mod:`registry` — content-hash keyed cache of compiled models, so
+  repeated prediction jobs stop reloading and recompiling;
+* :mod:`server` — an in-process micro-batching :class:`PredictionServer`
+  with a bounded queue and latency/throughput counters.
+"""
+
+from .batch import BatchPredictor, traverse_tree
+from .compiler import (
+    CompiledCascade,
+    FlatForest,
+    FlatTree,
+    compile_cascade,
+    compile_forest,
+    compile_tree,
+)
+from .registry import (
+    ModelRegistry,
+    RegistryEntry,
+    default_registry,
+    load_compiled_hdfs,
+    load_compiled_local,
+)
+from .server import (
+    PredictionServer,
+    ServerConfig,
+    ServingReport,
+    ServingStats,
+)
+
+__all__ = [
+    "BatchPredictor",
+    "CompiledCascade",
+    "FlatForest",
+    "FlatTree",
+    "ModelRegistry",
+    "PredictionServer",
+    "RegistryEntry",
+    "ServerConfig",
+    "ServingReport",
+    "ServingStats",
+    "compile_cascade",
+    "compile_forest",
+    "compile_tree",
+    "default_registry",
+    "load_compiled_hdfs",
+    "load_compiled_local",
+    "traverse_tree",
+]

@@ -1,0 +1,219 @@
+"""Vectorized batch traversal of compiled trees.
+
+All rows of a batch descend a :class:`~repro.serving.compiler.FlatTree`
+together, one level per step, with NumPy doing every comparison — there is
+no per-row Python loop anywhere on the serving hot path.  The compiler's
+breadth-first node order is what makes a single forward sweep over the
+node arrays a level-synchronous descent: rows are partitioned into
+per-node row-id sets, parents are always visited before children, and each
+node routes its rows with one vectorized test of its split column.
+
+Semantics are *exactly* the node-based descent of ``core/tree.py``:
+
+* a row stops at a leaf, at the ``max_depth`` cutoff, or at the first node
+  whose split value is missing (NaN / code ``-1``) or was unseen in that
+  node's ``D_x`` during training (paper Appendix D);
+* the answer is the prediction stored at the node where the descent stops.
+
+The parity tests in ``tests/test_serving.py`` enforce bit-identical output
+against ``DecisionTree.predict_proba`` / ``predict_values`` across problem
+kinds, categorical columns, missing values and all truncation depths.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..data.schema import ProblemKind
+from ..data.table import DataTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from .compiler import FlatForest, FlatTree
+
+#: Matches compiler.CAT_STOP without importing the module at runtime.
+_CAT_STOP = -1
+_CAT_LEFT = 1
+
+
+def traverse_tree(
+    tree: "FlatTree",
+    columns: Sequence[np.ndarray],
+    max_depth: int | None = None,
+) -> np.ndarray:
+    """Final node id of every row's descent, as an ``int32[n_rows]`` array.
+
+    ``columns`` is the column-major feature data (``float64`` for numeric
+    columns, integer codes for categorical ones — float-encoded codes are
+    accepted so a serving row-matrix can be a single dense array).
+    """
+    if not columns:
+        return np.zeros(0, dtype=np.int32)
+    n_rows = len(columns[0])
+    out = np.zeros(n_rows, dtype=np.int32)
+    feature = tree.feature
+    numeric = tree.numeric
+    depth = tree.depth
+    threshold = tree.threshold
+    left_child = tree.left
+    right_child = tree.right
+    cat_offset = tree.cat_offset
+    cat_len = tree.cat_len
+    cat_dir = tree.cat_dir
+
+    # Rows flow down the BFS node order as partitioned row-id sets: node
+    # ids ascend level by level, so by the time node ``i`` is reached its
+    # inbound row set is final.  Each node costs one vectorized pass over
+    # *its own* rows only — the whole batch is touched once per level, the
+    # same work profile as training-side ``_fill`` but over flat arrays.
+    pending: dict[int, np.ndarray] = {0: np.arange(n_rows, dtype=np.int64)}
+    for i in range(feature.size):
+        ids = pending.pop(i, None)
+        if ids is None or ids.size == 0:
+            continue
+        col = feature[i]
+        if col < 0 or (max_depth is not None and depth[i] >= max_depth):
+            out[ids] = i  # leaf or d_max cutoff: the descent settles here
+            continue
+        values = columns[col][ids]
+        if numeric[i]:
+            halt = np.isnan(values)
+            go_left = (values <= threshold[i]) & ~halt
+        else:
+            codes = values.astype(np.int64)
+            in_range = (codes >= 0) & (codes < cat_len[i])
+            direction = np.full(codes.size, _CAT_STOP, dtype=np.int8)
+            direction[in_range] = cat_dir[cat_offset[i] + codes[in_range]]
+            halt = direction == _CAT_STOP
+            go_left = direction == _CAT_LEFT
+        if halt.any():
+            out[ids[halt]] = i  # missing/unseen split value: stop at node
+            keep = ~halt
+            ids = ids[keep]
+            go_left = go_left[keep]
+        pending[left_child[i]] = ids[go_left]
+        pending[right_child[i]] = ids[~go_left]
+    return out
+
+
+def table_columns(table: DataTable) -> list[np.ndarray]:
+    """The column-major view of a :class:`DataTable` the kernel consumes."""
+    return table.columns
+
+
+def matrix_columns(matrix: np.ndarray) -> list[np.ndarray]:
+    """Column views of a dense row-major ``(n_rows, n_columns)`` matrix.
+
+    Categorical codes may be float-encoded (``-1.0`` for missing); the
+    kernel casts them per node.  This is the entry path of the prediction
+    server, whose requests carry raw row vectors rather than tables.
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError(f"expected a 2-D row matrix, got shape {mat.shape}")
+    return [np.ascontiguousarray(mat[:, i]) for i in range(mat.shape[1])]
+
+
+class BatchPredictor:
+    """Vectorized prediction over a compiled forest.
+
+    The public surface mirrors :class:`~repro.ensemble.forest.ForestModel`
+    (``predict`` / ``predict_proba`` / ``predict_values`` with optional
+    ``max_depth``) so callers can swap engines, plus ``*_columns`` variants
+    that skip the :class:`DataTable` wrapper for raw serving batches.
+    """
+
+    def __init__(self, forest: "FlatForest") -> None:
+        self.forest = forest
+
+    @property
+    def problem(self) -> ProblemKind:
+        """Problem kind of the compiled model."""
+        return self.forest.problem
+
+    @property
+    def n_classes(self) -> int:
+        """Target cardinality (0 for regression)."""
+        return self.forest.n_classes
+
+    # ------------------------------------------------------------------
+    # column-level entry points (serving hot path)
+    # ------------------------------------------------------------------
+    def predict_proba_columns(
+        self,
+        columns: Sequence[np.ndarray],
+        max_depth: int | None = None,
+    ) -> np.ndarray:
+        """Average class PMFs over all trees, shape ``(n_rows, n_classes)``."""
+        if self.forest.problem is not ProblemKind.CLASSIFICATION:
+            raise ValueError("predict_proba requires a classification model")
+        n_rows = len(columns[0]) if columns else 0
+        acc = np.zeros((n_rows, self.forest.n_classes), dtype=np.float64)
+        for tree in self.forest.trees:
+            acc += tree.predictions[traverse_tree(tree, columns, max_depth)]
+        acc /= self.forest.n_trees
+        return acc
+
+    def predict_values_columns(
+        self,
+        columns: Sequence[np.ndarray],
+        max_depth: int | None = None,
+    ) -> np.ndarray:
+        """Average regression predictions over all trees, ``(n_rows,)``."""
+        if self.forest.problem is not ProblemKind.REGRESSION:
+            raise ValueError("predict_values requires a regression model")
+        n_rows = len(columns[0]) if columns else 0
+        acc = np.zeros(n_rows, dtype=np.float64)
+        for tree in self.forest.trees:
+            acc += tree.predictions[traverse_tree(tree, columns, max_depth), 0]
+        acc /= self.forest.n_trees
+        return acc
+
+    def predict_columns(
+        self,
+        columns: Sequence[np.ndarray],
+        max_depth: int | None = None,
+    ) -> np.ndarray:
+        """Predicted labels (classification) or values (regression)."""
+        if self.forest.problem is ProblemKind.CLASSIFICATION:
+            return np.argmax(
+                self.predict_proba_columns(columns, max_depth), axis=1
+            )
+        return self.predict_values_columns(columns, max_depth)
+
+    # ------------------------------------------------------------------
+    # table-level entry points (drop-in for ForestModel)
+    # ------------------------------------------------------------------
+    def predict_proba(
+        self, table: DataTable, max_depth: int | None = None
+    ) -> np.ndarray:
+        """Class PMFs for a :class:`DataTable` batch."""
+        return self.predict_proba_columns(table_columns(table), max_depth)
+
+    def predict_values(
+        self, table: DataTable, max_depth: int | None = None
+    ) -> np.ndarray:
+        """Regression predictions for a :class:`DataTable` batch."""
+        return self.predict_values_columns(table_columns(table), max_depth)
+
+    def predict(
+        self, table: DataTable, max_depth: int | None = None
+    ) -> np.ndarray:
+        """Labels or values for a :class:`DataTable` batch."""
+        return self.predict_columns(table_columns(table), max_depth)
+
+    # ------------------------------------------------------------------
+    # row-matrix entry point (prediction server requests)
+    # ------------------------------------------------------------------
+    def predict_matrix(
+        self, matrix: np.ndarray, max_depth: int | None = None
+    ) -> np.ndarray:
+        """Predict a dense ``(n_rows, n_columns)`` row matrix."""
+        return self.predict_columns(matrix_columns(matrix), max_depth)
+
+    def predict_proba_matrix(
+        self, matrix: np.ndarray, max_depth: int | None = None
+    ) -> np.ndarray:
+        """Class PMFs for a dense row matrix."""
+        return self.predict_proba_columns(matrix_columns(matrix), max_depth)

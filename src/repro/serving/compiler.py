@@ -1,0 +1,357 @@
+"""Compile node-based tree models into flat structure-of-arrays form.
+
+A trained :class:`~repro.core.tree.DecisionTree` is a graph of Python
+objects — ideal for the master's graft-subtrees-onto-nodes protocol, hostile
+to batch prediction (every row descent chases pointers and re-enters the
+interpreter per node).  The compiler freezes a tree into parallel NumPy
+arrays indexed by node id:
+
+* ``feature[i]`` — split column of node ``i`` (``-1`` for leaves);
+* ``numeric[i]`` / ``threshold[i]`` — ordinal split condition;
+* ``cat_offset[i]`` / ``cat_len[i]`` — slice of the shared ``cat_dir``
+  direction table for categorical splits (see below);
+* ``left[i]`` / ``right[i]`` — child node ids (``-1`` for leaves);
+* ``depth[i]`` — absolute node depth, for ``d_max`` truncation;
+* ``predictions[i]`` — the node's PMF row (classification) or mean
+  (regression), because *every* TreeServer node carries a prediction
+  (paper Appendix D) and descents may stop anywhere.
+
+Nodes are laid out in **breadth-first order**, so node ids are sorted by
+depth.  Two things follow: level-synchronous traversal touches one
+contiguous band of the arrays per step, and truncating a tree at depth
+``d`` is literally slicing a prefix of every array (:meth:`FlatTree.truncated`).
+
+Categorical splits keep the paper's stop-at-node semantics exactly: the
+direction table maps a category code to ``LEFT`` (in ``S_l``), ``RIGHT``
+(seen in the node's ``D_x`` but not in ``S_l``) or ``STOP`` (missing code
+``-1`` or a value unseen at this node during training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.tree import DecisionTree, TreeNode
+from ..data.schema import ColumnKind, ProblemKind
+from ..ensemble.forest import ForestModel
+
+#: Direction codes stored in :attr:`FlatTree.cat_dir`.
+CAT_LEFT: int = 1
+CAT_RIGHT: int = 0
+CAT_STOP: int = -1
+
+
+@dataclass
+class FlatTree:
+    """One decision tree as parallel arrays (breadth-first node order)."""
+
+    feature: np.ndarray  # int32[n]; -1 marks a leaf
+    numeric: np.ndarray  # bool[n]; split kind of the node's column
+    threshold: np.ndarray  # float64[n]; NaN for non-numeric nodes
+    left: np.ndarray  # int32[n]; -1 for leaves
+    right: np.ndarray  # int32[n]; -1 for leaves
+    depth: np.ndarray  # int32[n]; sorted ascending (BFS layout)
+    predictions: np.ndarray  # float64[n, k] (k = n_classes, or 1 for regression)
+    cat_offset: np.ndarray  # int64[n]; -1 for non-categorical nodes
+    cat_len: np.ndarray  # int32[n]; 0 for non-categorical nodes
+    cat_dir: np.ndarray  # int8[total]; CAT_LEFT / CAT_RIGHT / CAT_STOP
+    problem: ProblemKind
+    n_classes: int = 0
+    tree_id: int = 0
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the compiled tree."""
+        return int(self.feature.size)
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest node (root is depth 0)."""
+        return int(self.depth[-1]) if self.depth.size else 0
+
+    def nbytes(self) -> int:
+        """Total bytes of all arrays (serving memory accounting)."""
+        return int(
+            sum(
+                a.nbytes
+                for a in (
+                    self.feature, self.numeric, self.threshold, self.left,
+                    self.right, self.depth, self.predictions,
+                    self.cat_offset, self.cat_len, self.cat_dir,
+                )
+            )
+        )
+
+    def truncated(self, max_depth: int) -> "FlatTree":
+        """Slice the tree at ``max_depth`` — the BFS layout makes this a
+        prefix cut of every array, with the cut level's nodes made leaves.
+
+        Prediction on the sliced tree equals prediction on the full tree
+        with the same ``max_depth`` argument, but the sliced model is
+        smaller — the serving answer to the paper's observation that one
+        ``d_max`` tree contains every shallower tree (Appendix D).
+        """
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        keep = int(np.searchsorted(self.depth, max_depth, side="right"))
+        keep = max(keep, 1)
+        cut = self.depth[:keep] >= max_depth
+        feature = self.feature[:keep].copy()
+        left = self.left[:keep].copy()
+        right = self.right[:keep].copy()
+        feature[cut] = -1
+        left[cut] = -1
+        right[cut] = -1
+        return FlatTree(
+            feature=feature,
+            numeric=self.numeric[:keep].copy(),
+            threshold=self.threshold[:keep].copy(),
+            left=left,
+            right=right,
+            depth=self.depth[:keep].copy(),
+            predictions=self.predictions[:keep].copy(),
+            cat_offset=self.cat_offset[:keep].copy(),
+            cat_len=self.cat_len[:keep].copy(),
+            cat_dir=self.cat_dir.copy(),
+            problem=self.problem,
+            n_classes=self.n_classes,
+            tree_id=self.tree_id,
+        )
+
+
+@dataclass
+class FlatForest:
+    """A compiled ensemble: one :class:`FlatTree` per member tree."""
+
+    trees: list[FlatTree]
+    problem: ProblemKind
+    n_classes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.trees:
+            raise ValueError("a compiled forest needs at least one tree")
+
+    @property
+    def n_trees(self) -> int:
+        """Ensemble size."""
+        return len(self.trees)
+
+    @property
+    def output_width(self) -> int:
+        """Columns of the per-row output block (``n_classes`` or 1)."""
+        return self.trees[0].predictions.shape[1]
+
+    def total_nodes(self) -> int:
+        """Total node count across all compiled trees."""
+        return sum(t.n_nodes for t in self.trees)
+
+    def max_depth(self) -> int:
+        """Deepest node depth across member trees."""
+        return max(t.max_depth for t in self.trees)
+
+    def nbytes(self) -> int:
+        """Total bytes of all member trees' arrays."""
+        return sum(t.nbytes() for t in self.trees)
+
+    def truncated(self, max_depth: int) -> "FlatForest":
+        """Depth-slice every member tree (see :meth:`FlatTree.truncated`)."""
+        return FlatForest(
+            trees=[t.truncated(max_depth) for t in self.trees],
+            problem=self.problem,
+            n_classes=self.n_classes,
+        )
+
+
+def compile_tree(tree: DecisionTree) -> FlatTree:
+    """Flatten one trained tree into :class:`FlatTree` arrays.
+
+    Exactness contract: batch traversal of the result reproduces
+    ``tree.predict`` / ``tree.predict_proba`` bit-for-bit, including depth
+    truncation and the missing/unseen stop-at-node rule.
+    """
+    nodes: list[TreeNode] = list(tree.root.breadth_first())
+    n = len(nodes)
+    index = {id(node): i for i, node in enumerate(nodes)}
+
+    width = tree.n_classes if tree.problem is ProblemKind.CLASSIFICATION else 1
+    feature = np.full(n, -1, dtype=np.int32)
+    numeric = np.zeros(n, dtype=bool)
+    threshold = np.full(n, np.nan, dtype=np.float64)
+    left = np.full(n, -1, dtype=np.int32)
+    right = np.full(n, -1, dtype=np.int32)
+    depth = np.empty(n, dtype=np.int32)
+    predictions = np.zeros((n, width), dtype=np.float64)
+    cat_offset = np.full(n, -1, dtype=np.int64)
+    cat_len = np.zeros(n, dtype=np.int32)
+    cat_chunks: list[np.ndarray] = []
+    cat_total = 0
+
+    for i, node in enumerate(nodes):
+        depth[i] = node.depth
+        pred = node.prediction
+        if tree.problem is ProblemKind.CLASSIFICATION:
+            row = np.asarray(pred, dtype=np.float64)
+            if row.shape != (width,):
+                raise ValueError(
+                    f"node {node.node_id}: PMF shape {row.shape} != ({width},)"
+                )
+            predictions[i] = row
+        else:
+            predictions[i, 0] = float(pred)
+        split = node.split
+        if split is None:
+            continue
+        assert node.left is not None and node.right is not None
+        feature[i] = split.column
+        left[i] = index[id(node.left)]
+        right[i] = index[id(node.right)]
+        if split.kind is ColumnKind.NUMERIC:
+            numeric[i] = True
+            assert split.threshold is not None
+            threshold[i] = split.threshold
+        else:
+            seen_left = split.left_categories or frozenset()
+            seen_right = split.right_categories or frozenset()
+            table_len = max(seen_left | seen_right) + 1
+            table = np.full(table_len, CAT_STOP, dtype=np.int8)
+            table[list(seen_left)] = CAT_LEFT
+            table[list(seen_right)] = CAT_RIGHT
+            cat_offset[i] = cat_total
+            cat_len[i] = table_len
+            cat_chunks.append(table)
+            cat_total += table_len
+
+    cat_dir = (
+        np.concatenate(cat_chunks)
+        if cat_chunks
+        else np.empty(0, dtype=np.int8)
+    )
+    return FlatTree(
+        feature=feature,
+        numeric=numeric,
+        threshold=threshold,
+        left=left,
+        right=right,
+        depth=depth,
+        predictions=predictions,
+        cat_offset=cat_offset,
+        cat_len=cat_len,
+        cat_dir=cat_dir,
+        problem=tree.problem,
+        n_classes=tree.n_classes,
+        tree_id=tree.tree_id,
+    )
+
+
+def compile_forest(model: ForestModel | DecisionTree) -> FlatForest:
+    """Compile a forest (or a single tree, wrapped as a 1-forest)."""
+    if isinstance(model, DecisionTree):
+        model = ForestModel([model])
+    return FlatForest(
+        trees=[compile_tree(t) for t in model.trees],
+        problem=model.problem,
+        n_classes=model.n_classes,
+    )
+
+
+# ----------------------------------------------------------------------
+# deep-forest cascades
+# ----------------------------------------------------------------------
+@dataclass
+class CompiledCascadeLayer:
+    """One cascade layer: its compiled forests plus the MGS window used."""
+
+    index: int
+    grain_window: int
+    forests: list[FlatForest] = field(default_factory=list)
+
+
+@dataclass
+class CompiledCascade:
+    """A compiled cascade forest (paper Section VII, Fig. 11).
+
+    Mirrors :class:`~repro.deepforest.cascade.CascadeForest` prediction
+    exactly: each layer consumes the cycled MGS grain features concatenated
+    with the previous layer's per-forest PMFs, and the final prediction is
+    the argmax of the last layer's averaged PMFs.
+    """
+
+    layers: list[CompiledCascadeLayer]
+    n_classes: int
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a compiled cascade needs at least one layer")
+
+    def total_nodes(self) -> int:
+        """Total node count across every layer's forests."""
+        return sum(
+            f.total_nodes() for layer in self.layers for f in layer.forests
+        )
+
+    def _layer_input(
+        self,
+        layer_index: int,
+        grain_features: dict[int, np.ndarray],
+        previous_output: np.ndarray | None,
+    ) -> np.ndarray:
+        windows = sorted(grain_features)
+        grain = grain_features[windows[layer_index % len(windows)]]
+        if previous_output is None:
+            return grain
+        return np.concatenate([grain, previous_output], axis=1)
+
+    def predict_proba_per_layer(
+        self, grain_features: dict[int, np.ndarray]
+    ) -> list[np.ndarray]:
+        """PMF predictions after each layer (Table VII accuracy column)."""
+        from .batch import BatchPredictor
+
+        outputs: list[np.ndarray] = []
+        previous: np.ndarray | None = None
+        for layer in self.layers:
+            features = self._layer_input(
+                layer.index, grain_features, previous
+            )
+            columns = [
+                np.ascontiguousarray(features[:, i])
+                for i in range(features.shape[1])
+            ]
+            blocks = [
+                BatchPredictor(forest).predict_proba_columns(columns)
+                for forest in layer.forests
+            ]
+            outputs.append(
+                np.mean(np.stack(blocks, axis=1), axis=1)
+            )
+            previous = np.concatenate(blocks, axis=1)
+        return outputs
+
+    def predict_proba(
+        self, grain_features: dict[int, np.ndarray]
+    ) -> np.ndarray:
+        """Final averaged PMFs of the last layer."""
+        return self.predict_proba_per_layer(grain_features)[-1]
+
+    def predict(self, grain_features: dict[int, np.ndarray]) -> np.ndarray:
+        """Final prediction: argmax of the last layer's averaged PMFs."""
+        return np.argmax(self.predict_proba(grain_features), axis=1)
+
+
+def compile_cascade(cascade) -> CompiledCascade:
+    """Compile a fitted :class:`~repro.deepforest.cascade.CascadeForest`."""
+    if not getattr(cascade, "layers", None):
+        raise ValueError("cascade is not fitted")
+    layers = [
+        CompiledCascadeLayer(
+            index=layer.index,
+            grain_window=layer.grain_window,
+            forests=[
+                compile_forest(trained.forest) for trained in layer.forests
+            ],
+        )
+        for layer in cascade.layers
+    ]
+    return CompiledCascade(layers=layers, n_classes=cascade.n_classes)

@@ -1,0 +1,372 @@
+"""In-process prediction server with bounded queueing and micro-batching.
+
+The serving front door.  Callers submit small requests (one or a few rows);
+a dispatcher thread coalesces them into micro-batches so the vectorized
+kernel amortizes its per-call overhead, flushing a batch when either
+
+* the accumulated rows reach ``max_batch_size``, or
+* the **oldest** queued request has waited ``max_delay_seconds``
+
+— the classic throughput/latency trade dial.  The request queue is bounded;
+when it is full, :meth:`PredictionServer.submit` fails fast with
+:class:`QueueFullError` instead of buffering unboundedly (load shedding).
+
+Per-request latency and throughput counters are kept in the same spirit as
+``cluster/metrics.py``: a :class:`ServingReport` dataclass with paper-style
+units (rows/sec, p50/p99 milliseconds) and a one-line ``summary()``.
+Unlike the cluster simulator these are *wall-clock* numbers — serving runs
+for real.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from queue import Empty, Full, Queue
+
+import numpy as np
+
+from ..core.tree import DecisionTree
+from ..data.schema import ProblemKind
+from ..ensemble.forest import ForestModel
+from .batch import BatchPredictor
+from .compiler import FlatForest
+from .registry import ModelRegistry, default_registry
+
+
+class QueueFullError(RuntimeError):
+    """Raised by ``submit`` when the bounded request queue is full."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Micro-batching knobs.
+
+    ``max_delay_seconds`` bounds the queueing delay any request absorbs for
+    the benefit of batching; ``max_batch_size`` bounds the rows per kernel
+    call; ``queue_capacity`` bounds admitted-but-unserved requests.
+    """
+
+    max_batch_size: int = 256
+    max_delay_seconds: float = 0.002
+    queue_capacity: int = 1024
+    max_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_delay_seconds < 0:
+            raise ValueError("max_delay_seconds must be >= 0")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+@dataclass
+class ServingStats:
+    """Raw counters accumulated by the dispatcher thread."""
+
+    n_requests: int = 0
+    n_rows: int = 0
+    n_batches: int = 0
+    rejected: int = 0
+    kernel_seconds: float = 0.0
+    first_enqueue: float | None = None
+    last_complete: float | None = None
+    #: Most recent per-request latencies (seconds); bounded window.
+    latencies: deque = field(default_factory=lambda: deque(maxlen=65536))
+
+    def latency_percentile_ms(self, q: float) -> float:
+        """Latency percentile over the recorded window, in milliseconds."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q) * 1e3)
+
+
+@dataclass
+class ServingReport:
+    """Point-in-time summary of a server's counters (metrics-style)."""
+
+    n_requests: int
+    n_rows: int
+    n_batches: int
+    rejected: int
+    avg_batch_rows: float
+    rows_per_second: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    max_latency_ms: float
+    kernel_seconds: float
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"req={self.n_requests} rows={self.n_rows} "
+            f"batches={self.n_batches} (avg {self.avg_batch_rows:.1f} rows) "
+            f"{self.rows_per_second:.0f} rows/s "
+            f"p50={self.p50_latency_ms:.2f}ms p99={self.p99_latency_ms:.2f}ms "
+            f"rejected={self.rejected}"
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON emission."""
+        return {
+            "n_requests": self.n_requests,
+            "n_rows": self.n_rows,
+            "n_batches": self.n_batches,
+            "rejected": self.rejected,
+            "avg_batch_rows": self.avg_batch_rows,
+            "rows_per_second": self.rows_per_second,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "max_latency_ms": self.max_latency_ms,
+            "kernel_seconds": self.kernel_seconds,
+        }
+
+
+class PredictionFuture:
+    """Handle returned by ``submit``; resolves to this request's block."""
+
+    def __init__(self, n_rows: int) -> None:
+        self.n_rows = n_rows
+        self._event = threading.Event()
+        self._value: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, value: np.ndarray) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        """Whether the result (or an error) is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block for the prediction block of this request's rows."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction not ready")
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+
+class _Request:
+    __slots__ = ("rows", "proba", "enqueued", "future")
+
+    def __init__(self, rows: np.ndarray, proba: bool, enqueued: float) -> None:
+        self.rows = rows
+        self.proba = proba
+        self.enqueued = enqueued
+        self.future = PredictionFuture(len(rows))
+
+
+class PredictionServer:
+    """Micro-batching front end over one compiled model.
+
+    Accepts a :class:`BatchPredictor`, a compiled :class:`FlatForest`, or a
+    node-based model (``ForestModel`` / ``DecisionTree``) which is then
+    compiled through the registry.  Use as a context manager::
+
+        with PredictionServer(model) as server:
+            labels = server.predict([row])
+    """
+
+    def __init__(
+        self,
+        model: BatchPredictor | FlatForest | ForestModel | DecisionTree,
+        config: ServerConfig | None = None,
+        registry: ModelRegistry | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        if isinstance(model, BatchPredictor):
+            self.predictor = model
+        elif isinstance(model, FlatForest):
+            self.predictor = BatchPredictor(model)
+        else:
+            reg = default_registry() if registry is None else registry
+            entry, _ = reg.get_or_compile(model)
+            self.predictor = entry.predictor
+        self.stats = ServingStats()
+        self._queue: Queue = Queue(maxsize=self.config.queue_capacity)
+        self._thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PredictionServer":
+        """Start the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._thread is None:
+                self._stopping.clear()
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-serving", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the queue, serve everything admitted, stop the thread."""
+        with self._lock:
+            thread = self._thread
+            if thread is None:
+                return
+            self._stopping.set()
+            thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the dispatcher thread is alive."""
+        return self._thread is not None
+
+    # ------------------------------------------------------------------
+    # request side
+    # ------------------------------------------------------------------
+    def submit(
+        self, rows, proba: bool = False
+    ) -> PredictionFuture:
+        """Enqueue one request (one or more feature rows); returns a future.
+
+        ``rows`` is a row vector, a list of row vectors, or an
+        ``(n, n_columns)`` array — numeric values as floats, categorical
+        values as integer codes (``-1`` / NaN for missing).  Raises
+        :class:`QueueFullError` when the bounded queue is full.
+        """
+        if self._thread is None:
+            raise RuntimeError("server is not running (call start())")
+        matrix = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ValueError("a request needs at least one row")
+        if proba and self.predictor.problem is not ProblemKind.CLASSIFICATION:
+            raise ValueError("proba requests need a classification model")
+        request = _Request(matrix, proba, time.monotonic())
+        try:
+            self._queue.put_nowait(request)
+        except Full:
+            self.stats.rejected += 1
+            raise QueueFullError(
+                f"queue full ({self.config.queue_capacity} requests)"
+            ) from None
+        if self.stats.first_enqueue is None:
+            self.stats.first_enqueue = request.enqueued
+        return request.future
+
+    def predict(self, rows, timeout: float | None = 30.0) -> np.ndarray:
+        """Submit one request and block for its labels/values."""
+        return self.submit(rows).result(timeout)
+
+    def predict_proba(self, rows, timeout: float | None = 30.0) -> np.ndarray:
+        """Submit one request and block for its class PMFs."""
+        return self.submit(rows, proba=True).result(timeout)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def report(self) -> ServingReport:
+        """Current counters as a :class:`ServingReport`."""
+        s = self.stats
+        if s.first_enqueue is not None and s.last_complete is not None:
+            elapsed = max(s.last_complete - s.first_enqueue, 1e-9)
+            rows_per_second = s.n_rows / elapsed
+        else:
+            rows_per_second = 0.0
+        max_ms = max(s.latencies) * 1e3 if s.latencies else 0.0
+        return ServingReport(
+            n_requests=s.n_requests,
+            n_rows=s.n_rows,
+            n_batches=s.n_batches,
+            rejected=s.rejected,
+            avg_batch_rows=(s.n_rows / s.n_batches) if s.n_batches else 0.0,
+            rows_per_second=rows_per_second,
+            p50_latency_ms=s.latency_percentile_ms(50),
+            p99_latency_ms=s.latency_percentile_ms(99),
+            max_latency_ms=float(max_ms),
+            kernel_seconds=s.kernel_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        cfg = self.config
+        while True:
+            try:
+                first = self._queue.get(timeout=0.01)
+            except Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            batch = [first]
+            n_rows = len(first.rows)
+            deadline = first.enqueued + cfg.max_delay_seconds
+            while n_rows < cfg.max_batch_size:
+                remaining = deadline - time.monotonic()
+                try:
+                    if remaining <= 0 or self._stopping.is_set():
+                        # Deadline hit: stop waiting, but still sweep in
+                        # whatever is already queued (backlog coalescing).
+                        nxt = self._queue.get_nowait()
+                    else:
+                        nxt = self._queue.get(timeout=remaining)
+                except Empty:
+                    break
+                batch.append(nxt)
+                n_rows += len(nxt.rows)
+            self._serve(batch)
+
+    def _serve(self, batch: list[_Request]) -> None:
+        matrix = (
+            batch[0].rows
+            if len(batch) == 1
+            else np.concatenate([r.rows for r in batch], axis=0)
+        )
+        classification = (
+            self.predictor.problem is ProblemKind.CLASSIFICATION
+        )
+        started = time.monotonic()
+        try:
+            if classification:
+                proba = self.predictor.predict_proba_matrix(
+                    matrix, self.config.max_depth
+                )
+                labels = np.argmax(proba, axis=1)
+            else:
+                proba = None
+                labels = self.predictor.predict_matrix(
+                    matrix, self.config.max_depth
+                )
+        except BaseException as error:  # noqa: BLE001 - forwarded to callers
+            for request in batch:
+                request.future._fail(error)
+            return
+        self.stats.kernel_seconds += time.monotonic() - started
+        done = time.monotonic()
+        offset = 0
+        for request in batch:
+            n = len(request.rows)
+            block = (
+                proba[offset : offset + n]
+                if request.proba and proba is not None
+                else labels[offset : offset + n]
+            )
+            request.future._resolve(block)
+            offset += n
+            self.stats.latencies.append(done - request.enqueued)
+        self.stats.n_requests += len(batch)
+        self.stats.n_rows += len(matrix)
+        self.stats.n_batches += 1
+        self.stats.last_complete = done

@@ -1,0 +1,649 @@
+"""Tests for the serving subsystem: compiler, kernel, registry, server.
+
+The heart of this file is the parity suite: the flat-array kernel must
+reproduce node-based descent *bit for bit* — across problem kinds,
+categorical columns, missing values, unseen category codes and every
+truncation depth — because the serving layer silently replaces the node
+engine everywhere (harness, distributed predictor, CLI).
+"""
+
+import io
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import SystemConfig, TreeConfig, train_tree
+from repro.core.persistence import (
+    fingerprint_trees,
+    model_fingerprint_hdfs,
+    model_fingerprint_local,
+    save_model_hdfs,
+    save_model_local,
+)
+from repro.core.predictor import predict_from_hdfs
+from repro.data import ProblemKind, write_csv
+from repro.datasets import SyntheticSpec, generate
+from repro.ensemble import ForestModel
+from repro.hdfs import SimHdfs
+from repro.serving import (
+    BatchPredictor,
+    FlatForest,
+    ModelRegistry,
+    PredictionServer,
+    ServerConfig,
+    compile_forest,
+    compile_tree,
+    load_compiled_hdfs,
+    load_compiled_local,
+)
+from repro.serving.server import QueueFullError
+
+
+def make_table(seed, problem=ProblemKind.CLASSIFICATION, missing=0.0, rows=200):
+    return generate(
+        SyntheticSpec(
+            name="t",
+            n_rows=rows,
+            n_numeric=3,
+            n_categorical=2,
+            n_classes=3,
+            problem=problem,
+            planted_depth=4,
+            noise=0.1,
+            missing_rate=missing,
+            seed=seed,
+        )
+    )
+
+
+def make_forest(table, n_trees=3, max_depth=6, seed=0):
+    return ForestModel(
+        [
+            train_tree(table, TreeConfig(max_depth=max_depth, seed=seed + i))
+            for i in range(n_trees)
+        ]
+    )
+
+
+class TestCompiler:
+    def test_layout_invariants(self, small_mixed_classification):
+        tree = train_tree(small_mixed_classification, TreeConfig(max_depth=6))
+        flat = compile_tree(tree)
+        assert flat.n_nodes == tree.n_nodes
+        assert flat.max_depth == tree.depth
+        # BFS layout: depths are sorted ascending, root first.
+        assert np.all(np.diff(flat.depth) >= 0)
+        assert flat.depth[0] == 0
+        # Leaves have no children or split column; inner nodes have both.
+        leaves = flat.feature < 0
+        assert np.all(flat.left[leaves] == -1)
+        assert np.all(flat.right[leaves] == -1)
+        assert np.all(flat.left[~leaves] >= 0)
+        # Every node carries a PMF (Appendix D: descents may stop anywhere).
+        np.testing.assert_allclose(flat.predictions.sum(axis=1), 1.0)
+        assert flat.nbytes() > 0
+
+    def test_truncated_is_prefix_slice(self, small_mixed_classification):
+        tree = train_tree(small_mixed_classification, TreeConfig(max_depth=7))
+        flat = compile_tree(tree)
+        for d in range(flat.max_depth + 1):
+            cut = flat.truncated(d)
+            assert cut.n_nodes <= flat.n_nodes
+            assert cut.max_depth <= d
+            # Prefix cut: surviving arrays match the full tree's prefix.
+            np.testing.assert_array_equal(
+                cut.predictions, flat.predictions[: cut.n_nodes]
+            )
+            # Cut-level nodes became leaves.
+            assert np.all(cut.feature[cut.depth >= d] == -1)
+
+    def test_truncated_rejects_negative(self, small_mixed_classification):
+        tree = train_tree(small_mixed_classification, TreeConfig(max_depth=3))
+        with pytest.raises(ValueError):
+            compile_tree(tree).truncated(-1)
+
+    def test_forest_accounting(self, small_mixed_classification):
+        forest = make_forest(small_mixed_classification, n_trees=4)
+        flat = compile_forest(forest)
+        assert flat.n_trees == 4
+        assert flat.total_nodes() == forest.total_nodes()
+        assert flat.output_width == forest.n_classes
+        assert flat.nbytes() == sum(t.nbytes() for t in flat.trees)
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ValueError):
+            FlatForest(trees=[], problem=ProblemKind.CLASSIFICATION)
+
+
+class TestParity:
+    """Flat kernel == node descent, bit for bit, everywhere."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_classification_proba(self, seed):
+        table = make_table(seed, missing=0.1 if seed % 2 else 0.0)
+        forest = make_forest(table, n_trees=3, seed=seed)
+        predictor = BatchPredictor(compile_forest(forest))
+        np.testing.assert_array_equal(
+            predictor.predict_proba(table), forest.predict_proba(table)
+        )
+        np.testing.assert_array_equal(
+            predictor.predict(table), forest.predict(table)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_regression_values(self, seed):
+        table = make_table(
+            seed + 10,
+            problem=ProblemKind.REGRESSION,
+            missing=0.1 if seed % 2 else 0.0,
+        )
+        forest = make_forest(table, n_trees=3, seed=seed)
+        predictor = BatchPredictor(compile_forest(forest))
+        np.testing.assert_array_equal(
+            predictor.predict_values(table), forest.predict_values(table)
+        )
+
+    def test_every_truncation_depth(self, small_mixed_classification):
+        table = small_mixed_classification
+        forest = make_forest(table, n_trees=2, max_depth=8)
+        flat = compile_forest(forest)
+        predictor = BatchPredictor(flat)
+        for d in range(1, flat.max_depth() + 1):
+            np.testing.assert_array_equal(
+                predictor.predict_proba(table, max_depth=d),
+                forest.predict_proba(table, max_depth=d),
+            )
+            # Compile-time slicing == run-time truncation.
+            np.testing.assert_array_equal(
+                BatchPredictor(flat.truncated(d)).predict_proba(table),
+                predictor.predict_proba(table, max_depth=d),
+            )
+
+    def test_truncation_depth_regression(self, small_regression):
+        forest = make_forest(small_regression, n_trees=2, max_depth=6)
+        predictor = BatchPredictor(compile_forest(forest))
+        for d in range(1, 7):
+            np.testing.assert_array_equal(
+                predictor.predict_values(small_regression, max_depth=d),
+                forest.predict_values(small_regression, max_depth=d),
+            )
+
+    def test_unseen_categories_stop_at_node(self):
+        """Codes absent from training data route like the node engine."""
+        full = make_table(7, rows=400)
+        cat_col = full.columns[3]  # first categorical column
+        held_out = int(cat_col.max())
+        train_rows = np.flatnonzero(cat_col != held_out)
+        train = full.take(train_rows)
+        assert len(train_rows) < full.n_rows  # the code really is held out
+        forest = make_forest(train, n_trees=3, seed=7)
+        predictor = BatchPredictor(compile_forest(forest))
+        np.testing.assert_array_equal(
+            predictor.predict_proba(full), forest.predict_proba(full)
+        )
+
+    def test_missing_codes_stop_at_node(self):
+        table = make_table(11, missing=0.25)
+        assert any(
+            np.any(col == -1) for col in table.columns[3:]
+        ) or any(np.any(np.isnan(col)) for col in table.columns[:3])
+        forest = make_forest(table, n_trees=2, seed=11)
+        predictor = BatchPredictor(compile_forest(forest))
+        np.testing.assert_array_equal(
+            predictor.predict_proba(table), forest.predict_proba(table)
+        )
+
+    def test_single_tree_matches_per_row_descent(self, tiny_classification):
+        table = tiny_classification
+        tree = train_tree(table, TreeConfig(max_depth=4))
+        predictor = BatchPredictor(compile_forest(tree))
+        np.testing.assert_array_equal(
+            predictor.predict_proba(table), tree.predict_proba(table)
+        )
+
+    def test_forest_compiled_convenience(self, small_mixed_classification):
+        forest = make_forest(small_mixed_classification, n_trees=2)
+        np.testing.assert_array_equal(
+            forest.compiled().predict_proba(small_mixed_classification),
+            forest.predict_proba(small_mixed_classification),
+        )
+
+    def test_matrix_entry_point(self, small_mixed_classification):
+        """A dense float64 row-matrix predicts like the typed table."""
+        table = small_mixed_classification
+        forest = make_forest(table, n_trees=2)
+        predictor = BatchPredictor(compile_forest(forest))
+        matrix = np.column_stack(
+            [np.asarray(col, dtype=np.float64) for col in table.columns]
+        )
+        np.testing.assert_array_equal(
+            predictor.predict_matrix(matrix), forest.predict(table)
+        )
+        np.testing.assert_array_equal(
+            predictor.predict_proba_matrix(matrix), forest.predict_proba(table)
+        )
+
+    def test_proba_on_regression_rejected(self, small_regression):
+        forest = make_forest(small_regression, n_trees=1)
+        predictor = BatchPredictor(compile_forest(forest))
+        with pytest.raises(ValueError):
+            predictor.predict_proba(small_regression)
+        with pytest.raises(ValueError):
+            BatchPredictor(
+                compile_forest(make_forest(make_table(0)))
+            ).predict_values(make_table(0))
+
+
+class TestFingerprints:
+    def test_stable_across_persisted_forms(
+        self, small_mixed_classification, tmp_path
+    ):
+        """In-memory, local-dir and DFS forms share one content hash."""
+        forest = make_forest(small_mixed_classification)
+        in_memory = fingerprint_trees(forest.trees)
+        save_model_local(tmp_path / "m", "rf", forest.trees)
+        assert model_fingerprint_local(tmp_path / "m") == in_memory
+        fs = SimHdfs()
+        save_model_hdfs(fs, "/models/rf", "rf", forest.trees)
+        assert model_fingerprint_hdfs(fs, "/models/rf") == in_memory
+
+    def test_name_and_path_do_not_matter(
+        self, small_mixed_classification, tmp_path
+    ):
+        forest = make_forest(small_mixed_classification)
+        save_model_local(tmp_path / "a", "first", forest.trees)
+        save_model_local(tmp_path / "b", "second", forest.trees)
+        assert model_fingerprint_local(
+            tmp_path / "a"
+        ) == model_fingerprint_local(tmp_path / "b")
+
+    def test_different_models_differ(self, small_mixed_classification):
+        a = make_forest(small_mixed_classification, max_depth=3)
+        b = make_forest(small_mixed_classification, max_depth=6)
+        assert fingerprint_trees(a.trees) != fingerprint_trees(b.trees)
+
+
+class TestRegistry:
+    def test_get_or_compile_hits_once(self, small_mixed_classification):
+        registry = ModelRegistry(capacity=4)
+        forest = make_forest(small_mixed_classification)
+        entry, hit = registry.get_or_compile(forest)
+        assert not hit
+        again, hit = registry.get_or_compile(forest)
+        assert hit
+        assert again is entry
+        assert registry.stats.hits == 1
+        assert registry.stats.misses == 1
+
+    def test_lru_eviction_order(self, small_mixed_classification):
+        registry = ModelRegistry(capacity=2)
+        models = [
+            make_forest(small_mixed_classification, n_trees=1, max_depth=d)
+            for d in (2, 3, 4)
+        ]
+        keys = [fingerprint_trees(m.trees) for m in models]
+        registry.put(keys[0], models[0])
+        registry.put(keys[1], models[1])
+        registry.get(keys[0])  # refresh 0: now 1 is least recent
+        registry.put(keys[2], models[2])
+        assert keys[0] in registry
+        assert keys[1] not in registry
+        assert keys[2] in registry
+        assert registry.stats.evictions == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(capacity=0)
+
+    def test_load_compiled_local_skips_reload(
+        self, small_mixed_classification, tmp_path
+    ):
+        registry = ModelRegistry()
+        forest = make_forest(small_mixed_classification)
+        save_model_local(tmp_path / "m", "rf", forest.trees)
+        entry, hit = load_compiled_local(tmp_path / "m", registry)
+        assert not hit
+        again, hit = load_compiled_local(tmp_path / "m", registry)
+        assert hit
+        assert again is entry
+        np.testing.assert_array_equal(
+            entry.predictor.predict(small_mixed_classification),
+            forest.predict(small_mixed_classification),
+        )
+
+    def test_load_compiled_hdfs_shares_line_with_local(
+        self, small_mixed_classification, tmp_path
+    ):
+        """The same content arriving via DFS hits the local-dir cache line."""
+        registry = ModelRegistry()
+        forest = make_forest(small_mixed_classification)
+        save_model_local(tmp_path / "m", "rf", forest.trees)
+        fs = SimHdfs()
+        save_model_hdfs(fs, "/m", "other-name", forest.trees)
+        _, hit = load_compiled_local(tmp_path / "m", registry)
+        assert not hit
+        _, hit = load_compiled_hdfs(fs, "/m", registry)
+        assert hit
+
+    def test_explicit_empty_registry_is_used(self, small_mixed_classification):
+        """An empty (falsy-length) registry must not fall back to default."""
+        registry = ModelRegistry()
+        forest = make_forest(small_mixed_classification, n_trees=1)
+        fs = SimHdfs()
+        save_model_hdfs(fs, "/m", "rf", forest.trees)
+        load_compiled_hdfs(fs, "/m", registry)
+        assert len(registry) == 1
+
+
+class TestPredictorCaching:
+    def test_model_load_charged_once(self, small_mixed_classification):
+        table = small_mixed_classification
+        forest = make_forest(table)
+        fs = SimHdfs()
+        save_model_hdfs(fs, "/m", "rf", forest.trees)
+        registry = ModelRegistry()
+        system = SystemConfig(n_workers=3, compers_per_worker=2)
+        first = predict_from_hdfs(fs, "/m", table, system, registry=registry)
+        assert not first.cache_hit
+        assert first.model_load_seconds > 0
+        second = predict_from_hdfs(fs, "/m", table, system, registry=registry)
+        assert second.cache_hit
+        assert second.model_load_seconds == 0.0
+        assert second.sim_seconds < first.sim_seconds
+        np.testing.assert_array_equal(first.predictions, second.predictions)
+        np.testing.assert_array_equal(
+            first.predictions, forest.predict(table)
+        )
+
+
+class GatedPredictor(BatchPredictor):
+    """Predictor whose kernel blocks until released (dispatcher control)."""
+
+    def __init__(self, forest):
+        super().__init__(forest)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def predict_proba_matrix(self, matrix, max_depth=None):
+        self.entered.set()
+        assert self.release.wait(5.0)
+        return super().predict_proba_matrix(matrix, max_depth)
+
+
+class TestServer:
+    @pytest.fixture
+    def compiled(self, small_mixed_classification):
+        forest = make_forest(small_mixed_classification, n_trees=2)
+        return compile_forest(forest), forest, small_mixed_classification
+
+    def _matrix(self, table):
+        return np.column_stack(
+            [np.asarray(col, dtype=np.float64) for col in table.columns]
+        )
+
+    def test_predict_parity(self, compiled):
+        flat, forest, table = compiled
+        matrix = self._matrix(table)
+        with PredictionServer(flat) as server:
+            labels = server.predict(matrix)
+            proba = server.predict_proba(matrix[:17])
+        np.testing.assert_array_equal(labels, forest.predict(table))
+        np.testing.assert_array_equal(
+            proba, forest.predict_proba(table)[:17]
+        )
+
+    def test_requests_are_sliced_back(self, compiled):
+        """Coalesced requests each get exactly their own rows back."""
+        flat, forest, table = compiled
+        matrix = self._matrix(table)
+        expected = forest.predict(table)
+        config = ServerConfig(max_batch_size=64, max_delay_seconds=0.05)
+        with PredictionServer(flat, config) as server:
+            futures = [
+                server.submit(matrix[i : i + 3])
+                for i in range(0, len(matrix) - 3, 3)
+            ]
+            for i, future in enumerate(futures):
+                np.testing.assert_array_equal(
+                    future.result(timeout=10.0),
+                    expected[3 * i : 3 * i + 3],
+                )
+        report = server.report()
+        assert report.n_requests == len(futures)
+        assert report.n_rows == 3 * len(futures)
+        # Micro-batching actually coalesced: fewer kernel calls than requests.
+        assert report.n_batches < report.n_requests
+        assert report.avg_batch_rows > 3
+
+    def test_deadline_flushes_partial_batch(self, compiled):
+        flat, forest, table = compiled
+        config = ServerConfig(max_batch_size=100_000, max_delay_seconds=0.02)
+        with PredictionServer(flat, config) as server:
+            row = self._matrix(table)[:1]
+            # Far fewer rows than the batch size: only the deadline flushes.
+            label = server.predict(row, timeout=5.0)
+        np.testing.assert_array_equal(label, forest.predict(table)[:1])
+
+    def test_queue_overflow_sheds_load(self, compiled):
+        flat, _, table = compiled
+        predictor = GatedPredictor(flat)
+        config = ServerConfig(
+            max_batch_size=1, max_delay_seconds=0.0, queue_capacity=2
+        )
+        row = self._matrix(table)[:1]
+        with PredictionServer(predictor, config) as server:
+            first = server.submit(row, proba=True)
+            assert predictor.entered.wait(5.0)  # dispatcher is busy serving
+            server.submit(row, proba=True)
+            server.submit(row, proba=True)  # queue now full (capacity 2)
+            with pytest.raises(QueueFullError):
+                server.submit(row, proba=True)
+            assert server.stats.rejected == 1
+            predictor.release.set()
+            first.result(timeout=5.0)
+        assert server.report().rejected == 1
+
+    def test_stop_drains_admitted_requests(self, compiled):
+        flat, forest, table = compiled
+        matrix = self._matrix(table)
+        config = ServerConfig(max_batch_size=4096, max_delay_seconds=0.5)
+        server = PredictionServer(flat, config).start()
+        futures = [server.submit(matrix[i : i + 1]) for i in range(20)]
+        server.stop()
+        assert not server.running
+        expected = forest.predict(table)
+        for i, future in enumerate(futures):
+            assert future.done()
+            np.testing.assert_array_equal(
+                future.result(timeout=0), expected[i : i + 1]
+            )
+
+    def test_accepts_node_model_via_registry(self, compiled):
+        _, forest, table = compiled
+        registry = ModelRegistry()
+        matrix = self._matrix(table)
+        with PredictionServer(forest, registry=registry) as server:
+            labels = server.predict(matrix)
+        np.testing.assert_array_equal(labels, forest.predict(table))
+        assert len(registry) == 1
+
+    def test_regression_server(self, small_regression):
+        forest = make_forest(small_regression, n_trees=2)
+        matrix = self._matrix(small_regression)
+        with PredictionServer(compile_forest(forest)) as server:
+            values = server.predict(matrix)
+            with pytest.raises(ValueError):
+                server.submit(matrix[:1], proba=True)
+        np.testing.assert_array_equal(
+            values, forest.predict_values(small_regression)
+        )
+
+    def test_truncated_serving(self, compiled):
+        flat, forest, table = compiled
+        config = ServerConfig(max_depth=2)
+        with PredictionServer(flat, config) as server:
+            labels = server.predict(self._matrix(table))
+        np.testing.assert_array_equal(
+            labels, forest.predict(table, max_depth=2)
+        )
+
+    def test_kernel_errors_propagate_to_futures(self, compiled):
+        flat, _, table = compiled
+
+        class BrokenPredictor(BatchPredictor):
+            def predict_proba_matrix(self, matrix, max_depth=None):
+                raise RuntimeError("kernel exploded")
+
+        with PredictionServer(BrokenPredictor(flat)) as server:
+            future = server.submit(self._matrix(table)[:1])
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                future.result(timeout=5.0)
+
+    def test_submit_requires_running_server(self, compiled):
+        flat, _, table = compiled
+        server = PredictionServer(flat)
+        with pytest.raises(RuntimeError, match="not running"):
+            server.submit(self._matrix(table)[:1])
+
+    def test_result_timeout(self, compiled):
+        flat, _, table = compiled
+        predictor = GatedPredictor(flat)
+        with PredictionServer(predictor) as server:
+            future = server.submit(self._matrix(table)[:1], proba=True)
+            with pytest.raises(TimeoutError):
+                future.result(timeout=0.01)
+            predictor.release.set()
+            future.result(timeout=5.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ServerConfig(max_delay_seconds=-1)
+        with pytest.raises(ValueError):
+            ServerConfig(queue_capacity=0)
+
+    def test_report_shapes(self, compiled):
+        flat, _, table = compiled
+        with PredictionServer(flat) as server:
+            server.predict(self._matrix(table)[:8])
+            report = server.report()
+        assert report.n_rows == 8
+        assert report.rows_per_second > 0
+        assert report.p99_latency_ms >= report.p50_latency_ms >= 0
+        summary = report.summary()
+        assert "rows/s" in summary and "p50" in summary
+        assert report.to_dict()["n_rows"] == 8
+
+
+class TestCascadeCompile:
+    def _fit_cascade(self):
+        from repro.deepforest import CascadeConfig, CascadeForest, LocalBackend
+
+        rng = np.random.default_rng(3)
+        n, n_classes = 80, 3
+        grain_features = {
+            3: rng.normal(size=(n, 6)),
+            5: rng.normal(size=(n, 4)),
+        }
+        labels = rng.integers(0, n_classes, size=n)
+        cascade = CascadeForest(
+            CascadeConfig(n_layers=2, n_forests=2, trees_per_forest=2, seed=9),
+            LocalBackend(),
+        )
+        previous = None
+        for layer in range(2):
+            _, previous = cascade.fit_layer(
+                layer, grain_features, labels, n_classes, previous
+            )
+        return cascade, grain_features
+
+    def test_compiled_cascade_parity(self):
+        cascade, grain_features = self._fit_cascade()
+        compiled = cascade.compiled()
+        node_layers = cascade.predict_proba_per_layer(grain_features)
+        flat_layers = compiled.predict_proba_per_layer(grain_features)
+        assert len(flat_layers) == len(node_layers)
+        for node_pmf, flat_pmf in zip(node_layers, flat_layers):
+            np.testing.assert_array_equal(flat_pmf, node_pmf)
+        np.testing.assert_array_equal(
+            compiled.predict(grain_features), cascade.predict(grain_features)
+        )
+        assert compiled.total_nodes() > 0
+
+    def test_unfitted_cascade_rejected(self):
+        from repro.deepforest import CascadeConfig, CascadeForest, LocalBackend
+        from repro.serving.compiler import compile_cascade
+
+        with pytest.raises(ValueError, match="not fitted"):
+            compile_cascade(CascadeForest(CascadeConfig(), LocalBackend()))
+
+
+class TestCliServing:
+    @pytest.fixture
+    def trained(self, small_mixed_classification, tmp_path):
+        csv_path = tmp_path / "data.csv"
+        write_csv(small_mixed_classification, csv_path)
+        model_dir = tmp_path / "model"
+        code = main(
+            [
+                "train", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--forest", "2",
+                "--max-depth", "5", "--workers", "2", "--compers", "2",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 0
+        return csv_path, model_dir, tmp_path
+
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_predict_engines_agree(self, trained):
+        csv_path, model_dir, tmp_path = trained
+        flat_out = tmp_path / "flat.csv"
+        node_out = tmp_path / "node.csv"
+        code, output = self._run(
+            [
+                "predict", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--out", str(flat_out),
+            ]
+        )
+        assert code == 0
+        assert "engine=flat" in output
+        code, output = self._run(
+            [
+                "predict", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--out", str(node_out),
+                "--engine", "node",
+            ]
+        )
+        assert code == 0
+        assert "engine=node" in output
+        assert flat_out.read_text() == node_out.read_text()
+
+    def test_serve_matches_predict(self, trained):
+        csv_path, model_dir, tmp_path = trained
+        predict_out = tmp_path / "preds.csv"
+        serve_out = tmp_path / "served.csv"
+        self._run(
+            [
+                "predict", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--out", str(predict_out),
+            ]
+        )
+        code, output = self._run(
+            [
+                "serve", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--out", str(serve_out),
+                "--request-rows", "7", "--batch-size", "32",
+                "--max-delay-ms", "1",
+            ]
+        )
+        assert code == 0
+        assert "rows/s" in output
+        assert serve_out.read_text() == predict_out.read_text()
