@@ -1,0 +1,163 @@
+"""Runtime backends: wall-clock of the simulator vs real worker processes.
+
+Trains the same forest on the same table through both runtimes —
+``backend="sim"`` (the whole protocol and all worker compute in one
+process, interleaved by the discrete-event engine) and ``backend="mp"``
+(one OS process per worker) — at 1, 2 and 4 workers, and verifies the
+parity guarantee along the way: every run must produce bit-identical
+trees.
+
+The workload is shaped to be *compute-dominated*, the regime the mp
+backend exists for: ``tau_subtree`` is set so each tree's root splits as
+a column task and both children train as fat CPU-bound subtree tasks,
+and columns are fully replicated so subtree fetches are local.  Under
+that shape the simulator executes all workers' numpy sequentially while
+the mp backend spreads it across cores.
+
+The asserted contract is hardware-aware, because wall-clock parallelism
+is a property of the machine, not the code: with >= 2 usable cores, mp
+must beat sim at >= 2 workers; on a single-core host (CI containers,
+including the one this reproduction grows in) mp cannot possibly win —
+every process shares the one core and the backend can only add overhead
+— so the assertion degrades to a bounded-overhead check.  The JSON
+written to ``BENCH_runtime.json`` records ``cores`` so a reader can tell
+which regime produced the numbers.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import (
+    SystemConfig,
+    TreeConfig,
+    TreeServer,
+    random_forest_job,
+    trees_equal,
+)
+from repro.datasets import SyntheticSpec, generate
+from repro.runtime import RuntimeOptions
+
+from conftest import save_result
+
+N_ROWS = 24_000
+N_TREES = 8
+MAX_DEPTH = 10
+WORKER_COUNTS = (1, 2, 4)
+#: mp may cost at most this factor over sim when no parallelism exists.
+MAX_SINGLE_CORE_OVERHEAD = 2.0
+
+REPO_ROOT = Path(__file__).parents[1]
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _system(n_workers: int, n_rows: int) -> SystemConfig:
+    # Subtree-heavy shape: root = column task, children = CPU-bound
+    # subtree tasks; full replication keeps subtree fetches local.
+    return SystemConfig(
+        n_workers=n_workers,
+        compers_per_worker=2,
+        tau_subtree=n_rows // 2,
+        tau_dfs=n_rows // 2,
+        column_replication=n_workers,
+    )
+
+
+def test_runtime_backends(run_once):
+    spec = SyntheticSpec(
+        name="runtime-bench",
+        n_rows=N_ROWS,
+        n_numeric=12,
+        n_categorical=4,
+        n_classes=5,
+        planted_depth=6,
+        noise=0.1,
+        missing_rate=0.02,
+        seed=3,
+    )
+    table = generate(spec)
+    jobs = [random_forest_job("rf", N_TREES, TreeConfig(max_depth=MAX_DEPTH), seed=1)]
+    options = RuntimeOptions(message_timeout_seconds=120.0)
+
+    def experiment():
+        rows = []
+        reference = None
+        for n_workers in WORKER_COUNTS:
+            system = _system(n_workers, table.n_rows)
+            walls = {}
+            for backend in ("sim", "mp"):
+                server = TreeServer(
+                    system, backend=backend, runtime_options=options
+                )
+                start = time.perf_counter()
+                report = server.fit(table, jobs)
+                walls[backend] = time.perf_counter() - start
+                trees = report.trees("rf")
+                if reference is None:
+                    reference = trees
+                else:  # the model is invariant to backend and scale
+                    assert all(
+                        trees_equal(a, b) for a, b in zip(reference, trees)
+                    )
+            rows.append(
+                {
+                    "n_workers": n_workers,
+                    "sim_wall_seconds": walls["sim"],
+                    "mp_wall_seconds": walls["mp"],
+                    "mp_speedup": walls["sim"] / walls["mp"],
+                }
+            )
+        return {
+            "n_rows": table.n_rows,
+            "n_trees": N_TREES,
+            "max_depth": MAX_DEPTH,
+            "cores": _cores(),
+            "parity": "bit-identical across all runs",
+            "runs": rows,
+        }
+
+    result = run_once(experiment)
+
+    cores = result["cores"]
+    lines = [
+        f"Runtime backends ({result['n_rows']:,} rows, {N_TREES} trees, "
+        f"depth {MAX_DEPTH}, {cores} core(s))",
+        f"{'workers':>8s}{'sim wall':>12s}{'mp wall':>12s}{'mp speedup':>12s}",
+    ]
+    for row in result["runs"]:
+        lines.append(
+            f"{row['n_workers']:>8d}"
+            f"{row['sim_wall_seconds']:>11.2f}s"
+            f"{row['mp_wall_seconds']:>11.2f}s"
+            f"{row['mp_speedup']:>11.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        "models bit-identical across backends and worker counts"
+        + ("" if cores >= 2 else "; single core: mp overhead bounded, "
+           "no parallel speedup physically possible")
+    )
+    save_result("runtime_backends", "\n".join(lines))
+    (REPO_ROOT / "BENCH_runtime.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+
+    multi_worker = [r for r in result["runs"] if r["n_workers"] >= 2]
+    if cores >= 2:
+        # The tentpole claim: real processes beat the sequential simulator
+        # as soon as there is real hardware to spread over.
+        assert any(r["mp_speedup"] > 1.0 for r in multi_worker), result
+    else:
+        # One core: no parallelism exists to harvest; the backend must at
+        # least keep its messaging overhead within a constant factor.
+        assert all(
+            r["mp_speedup"] >= 1.0 / MAX_SINGLE_CORE_OVERHEAD
+            for r in multi_worker
+        ), result

@@ -44,6 +44,7 @@ from .data.table import DataTable
 from .datasets.registry import dataset_names, dataset_spec
 from .datasets.synthetic import generate
 from .evaluation.metrics import accuracy, rmse
+from .runtime import RuntimeOptions, graceful_sigint, reap_children
 from .serving.registry import load_compiled_local
 from .serving.server import PredictionServer, QueueFullError, ServerConfig
 
@@ -72,6 +73,16 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=int, default=8)
     train.add_argument("--compers", type=int, default=4)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--backend", choices=("sim", "mp"), default="sim",
+        help="execution substrate: sim (discrete-event simulator, default) "
+        "or mp (real worker processes; same model, wall-clock time)",
+    )
+    train.add_argument(
+        "--mp-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="mp backend: max silence between protocol messages before "
+        "the run is declared wedged",
+    )
 
     predict = sub.add_parser("predict", help="apply a saved model to a CSV")
     predict.add_argument("--csv", required=True)
@@ -157,15 +168,28 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
     system = SystemConfig(
         n_workers=args.workers, compers_per_worker=args.compers
     ).scaled_to(table.n_rows)
-    report = TreeServer(system).fit(table, [job])
+    options = RuntimeOptions(message_timeout_seconds=args.mp_timeout)
+    server = TreeServer(
+        system, backend=args.backend, runtime_options=options
+    )
+    with graceful_sigint():
+        report = server.fit(table, [job])
     trees = report.trees("model")
     save_model_local(args.model_dir, "model", trees)
+    if report.backend == "mp":
+        timing = (
+            f"in {report.wall_seconds:.3f} wall-clock seconds on "
+            f"{args.workers} worker processes"
+        )
+    else:
+        timing = (
+            f"in {report.sim_seconds:.3f} simulated seconds "
+            f"(CPU {report.cluster.avg_worker_cpu_percent:.0f}%, "
+            f"send {report.cluster.avg_worker_send_mbps:.0f} Mbps)"
+        )
     print(
         f"trained {len(trees)} tree(s) on {table.n_rows} rows "
-        f"({table.n_columns} columns) in {report.sim_seconds:.3f} simulated "
-        f"seconds "
-        f"(CPU {report.cluster.avg_worker_cpu_percent:.0f}%, "
-        f"send {report.cluster.avg_worker_send_mbps:.0f} Mbps)",
+        f"({table.n_columns} columns) {timing}",
         file=out,
     )
     print(f"model saved to {args.model_dir}", file=out)
@@ -239,7 +263,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         [np.asarray(col, dtype=np.float64) for col in table.columns]
     ) if table.n_columns else np.zeros((table.n_rows, 0))
     predictions: list[np.ndarray] = []
-    with PredictionServer(entry.predictor, config) as server:
+    with graceful_sigint(), PredictionServer(entry.predictor, config) as server:
         futures = []
         drained = 0  # backpressure cursor: oldest future not yet waited on
         for start in range(0, table.n_rows, chunk):
@@ -314,6 +338,13 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: normal for CLIs.
         return 0
+    except KeyboardInterrupt:
+        # Ctrl-C: make sure no worker process outlives the run, then exit
+        # with the conventional 128 + SIGINT code.
+        reaped = reap_children()
+        suffix = f" (reaped {reaped} worker process(es))" if reaped else ""
+        print(f"interrupted{suffix}", file=sys.stderr)
+        return 130
     raise AssertionError(f"unhandled command {args.command}")
 
 

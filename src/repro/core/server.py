@@ -1,10 +1,18 @@
 """TreeServer facade: the public entry point for distributed training.
 
-Wires a :class:`SimulatedCluster` (master + workers), partitions the data
-table's columns across workers with ``k``-way replication, runs the
-submitted jobs through the master/worker protocol, and returns the trained
-models together with paper-style run metrics (simulated seconds, CPU
-percent, send Mbps, peak memory).
+Partitions the data table's columns across workers with ``k``-way
+replication, runs the submitted jobs through the master/worker protocol on
+the selected **runtime backend**, and returns the trained models together
+with paper-style run metrics.
+
+Two backends (see ``repro.runtime`` and ``docs/RUNTIME.md``):
+
+* ``"sim"`` (default) — the deterministic discrete-event simulator; time
+  is simulated seconds, fault injection and the secondary master are
+  available.
+* ``"mp"`` — real OS processes exchanging the same typed messages over
+  ``multiprocessing`` queues; time is wall-clock.  Bit-identical models
+  to ``"sim"`` on the same inputs.
 
 Typical use::
 
@@ -13,6 +21,9 @@ Typical use::
     server = TreeServer(SystemConfig(n_workers=8).scaled_to(table.n_rows))
     report = server.fit(table, [random_forest_job("rf", n_trees=20)])
     forest = report.forest("rf")
+
+    real = TreeServer(SystemConfig(n_workers=4), backend="mp")
+    report = real.fit(table, [random_forest_job("rf", n_trees=20)])
 """
 
 from __future__ import annotations
@@ -20,18 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cluster.cost import CostModel
-from ..cluster.faults import CrashPlan, FaultInjector
+from ..cluster.faults import CrashPlan
 from ..cluster.metrics import ClusterReport
-from ..cluster.topology import SimulatedCluster
-from ..data.table import DataTable
 from .config import SystemConfig
 from .jobs import TrainingJob
-from .load_balance import assign_columns_to_workers
-from .master import MasterActor, _TableInfo
-from .secondary import SecondaryMasterActor
 from .tasks import TaskCounters
 from .tree import DecisionTree
-from .worker import WorkerActor
 
 
 @dataclass
@@ -44,6 +49,12 @@ class RunReport:
     models: dict[str, list[DecisionTree]] = field(default_factory=dict)
     #: The simulated machines, kept only when the run recorded timelines.
     machines: list | None = None
+    #: Which runtime backend produced this report (``"sim"`` or ``"mp"``).
+    backend: str = "sim"
+    #: Real elapsed seconds.  On the mp backend this equals
+    #: ``sim_seconds`` (there is no simulated clock there); on the sim
+    #: backend it is how long the simulation itself took to run.
+    wall_seconds: float = 0.0
 
     def utilization_curve(self, n_bins: int = 20) -> list[float]:
         """Busy cores per time bin (requires ``record_timeline=True``)."""
@@ -76,21 +87,39 @@ class RunReport:
 
 
 class TreeServer:
-    """A (simulated) TreeServer deployment ready to train tree models."""
+    """A TreeServer deployment ready to train tree models.
+
+    ``backend`` selects the execution substrate: ``"sim"`` (default, the
+    discrete-event simulator) or ``"mp"`` (real worker processes).
+    ``runtime_options`` tunes the mp backend's timeouts and process
+    start method; it is ignored by the simulator.
+    """
 
     def __init__(
-        self, system: SystemConfig | None = None, cost: CostModel | None = None
+        self,
+        system: SystemConfig | None = None,
+        cost: CostModel | None = None,
+        backend: str = "sim",
+        runtime_options=None,
     ) -> None:
+        from ..runtime import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.system = system or SystemConfig()
         self.cost = cost or CostModel(
             ops_per_second=self.system.core_ops_per_second,
             bandwidth_bytes_per_second=self.system.bandwidth_bytes_per_second,
             latency_seconds=self.system.network_latency_seconds,
         )
+        self.backend = backend
+        self.runtime_options = runtime_options
 
     def fit(
         self,
-        table: DataTable,
+        table,
         jobs: list[TrainingJob],
         crash_plans: list[CrashPlan] | None = None,
         max_events: int | None = None,
@@ -103,135 +132,19 @@ class TreeServer:
         ``secondary_master`` enables the Appendix-E hot standby, making a
         master crash survivable; ``record_timeline`` traces every executed
         work item so :meth:`RunReport.utilization_curve` can be used;
-        ``max_events`` is a runaway guard.
+        ``max_events`` is a runaway guard.  All four are simulator-only
+        features — the mp backend rejects them.
         """
-        if not jobs:
-            raise ValueError("no jobs submitted")
-        if table.n_rows < 1:
-            raise ValueError("empty training table")
-        names = [job.name for job in jobs]
-        if len(set(names)) != len(names):
-            raise ValueError("job names must be unique")
+        from ..runtime import create_runtime
 
-        cluster = SimulatedCluster(
-            n_workers=self.system.n_workers,
-            compers_per_worker=self.system.compers_per_worker,
-            cost=self.cost,
-            extra_machines=1 if secondary_master else 0,
+        runtime = create_runtime(
+            self.backend, self.system, self.cost, self.runtime_options
         )
-        if record_timeline:
-            for machine in cluster.machines:
-                machine.record_timeline = True
-        worker_ids = cluster.worker_ids()
-        placement = assign_columns_to_workers(
-            table.n_columns, worker_ids, self.system.column_replication
-        )
-        workers: list[WorkerActor] = []
-        for wid in worker_ids:
-            held = {c for c, ws in placement.items() if wid in ws}
-            worker = WorkerActor(cluster, wid, table, held)
-            cluster.register(wid, worker)
-            workers.append(worker)
-
-        info = _TableInfo(
-            n_rows=table.n_rows,
-            n_columns=table.n_columns,
-            problem=table.problem,
-            n_classes=table.n_classes,
-        )
-        secondary: SecondaryMasterActor | None = None
-        if secondary_master:
-            secondary_id = self.system.n_workers + 1
-            secondary = SecondaryMasterActor(
-                cluster, secondary_id, info, jobs, self.system, placement
-            )
-            cluster.register(secondary_id, secondary)
-        master = MasterActor(
-            cluster,
-            info,
+        return runtime.fit(
+            table,
             jobs,
-            self.system,
-            placement,
-            secondary_id=(secondary.machine_id if secondary else None),
+            crash_plans=crash_plans,
+            max_events=max_events,
+            secondary_master=secondary_master,
+            record_timeline=record_timeline,
         )
-        cluster.register(cluster.MASTER, master)
-
-        if crash_plans:
-            injector = FaultInjector(
-                cluster.engine, cluster.machines, cluster.network
-            )
-
-            def on_failure(machine_id: int) -> None:
-                if machine_id == cluster.MASTER:
-                    assert secondary is not None
-                    secondary.on_master_failure()
-                    return
-                active = (
-                    secondary.promoted
-                    if secondary is not None and secondary.promoted
-                    else master
-                )
-                if active.halted:
-                    # The master died before this worker-crash was
-                    # detected; the upcoming failover rebuilds its state
-                    # from live workers only, so nothing to do here.
-                    return
-                active.on_worker_crashed(machine_id)
-
-            injector.on_failure_detected(on_failure)
-            for plan in crash_plans:
-                if plan.machine_id == cluster.MASTER and not secondary_master:
-                    raise ValueError(
-                        "master failure needs secondary_master=True"
-                    )
-                injector.schedule_crash(plan)
-
-        master.start()
-        report = cluster.run(max_events=max_events)
-
-        if secondary is not None and secondary.promoted is not None:
-            master = secondary.promoted  # results live in the new master
-        if not master.is_done():
-            raise RuntimeError(
-                "simulation drained but training is incomplete "
-                f"({master.pool.completed_trees}/{master.pool.total_trees} trees)"
-            )
-        self._check_clean_shutdown(workers)
-        if not master.matrix.is_zero():
-            raise RuntimeError(
-                "load matrix did not return to zero: "
-                f"{master.matrix.snapshot()}"
-            )
-        master.counters.head_insertions = master.bplan.head_insertions
-        master.counters.tail_insertions = master.bplan.tail_insertions
-        master.counters.bplan_peak = max(
-            master.counters.bplan_peak, master.bplan.peak_size
-        )
-
-        models = {job.name: master.trained_trees(job.name) for job in jobs}
-        return RunReport(
-            sim_seconds=report.elapsed_seconds,
-            cluster=report,
-            counters=master.counters,
-            models=models,
-            machines=cluster.machines if record_timeline else None,
-        )
-
-    @staticmethod
-    def _check_clean_shutdown(workers: list[WorkerActor]) -> None:
-        """Assert no worker leaked task state or task memory."""
-        for worker in workers:
-            if worker.machine.halted:
-                continue  # crashed workers keep whatever they had
-            leftovers = {
-                k: v for k, v in worker.outstanding_state().items() if v
-            }
-            if leftovers:
-                raise RuntimeError(
-                    f"worker {worker.worker_id} leaked task state: {leftovers}"
-                )
-            if worker.machine.stats.mem_task_bytes != 0:
-                raise RuntimeError(
-                    f"worker {worker.worker_id} leaked "
-                    f"{worker.machine.stats.mem_task_bytes} bytes of task memory"
-                )

@@ -44,6 +44,11 @@ MSG_COLUMN_REQUEST = "column_request"
 MSG_COLUMN_RESPONSE = "column_response"
 MSG_SUBTREE_RESULT = "subtree_result"
 MSG_REVOKE_TREE = "revoke_tree"
+# Runtime control plane (multiprocess backend only; the simulator's
+# equivalent is the event queue simply draining).
+MSG_SHUTDOWN = "shutdown"
+MSG_WORKER_STATS = "worker_stats"
+MSG_WORKER_ERROR = "worker_error"
 
 
 @dataclass(frozen=True)
@@ -368,3 +373,75 @@ class MasterFailoverMsg:
 
     new_master_id: int
     min_live_uid: int
+
+
+@dataclass
+class ShutdownMsg:
+    """Runtime driver -> worker process: training is done, exit cleanly.
+
+    The worker replies with a :class:`WorkerStatsMsg` (its run-end
+    invariant report) before its event loop returns.  Only the
+    multiprocess backend sends this; the simulator ends when its event
+    queue drains.
+    """
+
+    reason: str = "done"
+
+
+@dataclass
+class WorkerStatsMsg:
+    """Worker process -> runtime driver: end-of-run invariant report.
+
+    ``outstanding`` mirrors :meth:`WorkerActor.outstanding_state` and
+    ``mem_task_bytes`` the machine's live task allocation — both must be
+    zero after a clean run, giving the multiprocess backend the same
+    leak checks the simulator asserts in-process.
+    """
+
+    worker: int
+    outstanding: dict[str, int]
+    mem_task_bytes: int
+    mem_task_peak: int = 0
+    mem_base_bytes: int = 0
+    messages_handled: int = 0
+    messages_sent: int = 0
+    ops_executed: float = 0.0
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class WorkerErrorMsg:
+    """Worker process -> runtime driver: the worker hit an exception.
+
+    The driver surfaces this as a structured
+    :class:`~repro.runtime.base.WorkerDiedError` instead of waiting for a
+    timeout; ``traceback`` carries the formatted remote stack.
+    """
+
+    worker: int
+    error: str
+    traceback: str = ""
+
+
+#: Every message dataclass that can travel on a transport, for
+#: transport-safety tests (pickle round-trips) and exhaustiveness checks.
+MESSAGE_DATACLASSES: tuple[type, ...] = (
+    ColumnPlanMsg,
+    SubtreePlanMsg,
+    ColumnResultMsg,
+    SplitConfirmMsg,
+    SplitDoneMsg,
+    ExpectFetchesMsg,
+    RowRequestMsg,
+    RowResponseMsg,
+    ColumnRequestMsg,
+    ColumnResponseMsg,
+    SubtreeResultMsg,
+    TaskDeleteMsg,
+    RevokeTreeMsg,
+    TreeCompletedSync,
+    MasterFailoverMsg,
+    ShutdownMsg,
+    WorkerStatsMsg,
+    WorkerErrorMsg,
+)

@@ -1,0 +1,40 @@
+"""Execution substrates for the TreeServer protocol.
+
+Two backends behind one seam: the deterministic discrete-event simulator
+(``"sim"``, the default — every paper experiment runs on it) and the real
+multiprocess runtime (``"mp"`` — one OS process per worker, peer-to-peer
+queues, wall-clock time).  Selected via ``TreeServer(..., backend=...)``
+or ``repro train --backend``; both train bit-identical models.  See
+``docs/RUNTIME.md``.
+"""
+
+from .base import (
+    BACKENDS,
+    MessageTimeoutError,
+    Runtime,
+    RuntimeBackendError,
+    RuntimeOptions,
+    Transport,
+    WorkerDiedError,
+    create_runtime,
+)
+from .process import ProcessRuntime, ProcessTransport
+from .signals import graceful_sigint, reap_children
+from .sim import SimRuntime, SimTransport
+
+__all__ = [
+    "BACKENDS",
+    "MessageTimeoutError",
+    "ProcessRuntime",
+    "ProcessTransport",
+    "Runtime",
+    "RuntimeBackendError",
+    "RuntimeOptions",
+    "SimRuntime",
+    "SimTransport",
+    "Transport",
+    "WorkerDiedError",
+    "create_runtime",
+    "graceful_sigint",
+    "reap_children",
+]

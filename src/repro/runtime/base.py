@@ -1,0 +1,160 @@
+"""Runtime backends: the contract between the protocol and its substrate.
+
+The TreeServer protocol (``core/master.py`` / ``core/worker.py``) is a set
+of actors exchanging the typed messages of ``core/tasks.py``.  *Where*
+those actors run and *how* the messages travel is the runtime's concern:
+
+* a :class:`Transport` moves one addressed message between machines —
+  :class:`~repro.runtime.sim.SimTransport` rides the discrete-event
+  ``Network``, :class:`~repro.runtime.process.ProcessTransport` rides
+  per-process ``multiprocessing`` queues;
+* a :class:`Runtime` owns a whole training run on one substrate and
+  returns the same :class:`~repro.core.server.RunReport` either way.
+
+``TreeServer(..., backend="sim" | "mp")`` picks the runtime through
+:func:`create_runtime`; the simulator stays the default.  Both backends
+run the identical master state machine, and because split arbitration is
+``min (score, column)`` and all per-node randomness derives from
+``(tree seed, node path)``, they produce bit-identical models (pinned by
+``tests/test_runtime_mp.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..cluster.cost import CostModel
+    from ..core.config import SystemConfig
+    from ..core.jobs import TrainingJob
+    from ..core.server import RunReport
+    from ..data.table import DataTable
+
+#: Names accepted by ``TreeServer(..., backend=...)`` / ``repro train --backend``.
+BACKENDS = ("sim", "mp")
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Moves one addressed protocol message between machines.
+
+    ``send`` must preserve per-sender FIFO order towards each destination
+    — the protocol's extra-trees retry path (task_delete immediately
+    followed by a fresh column_plan to the same worker) relies on it.
+    Both implementations give this for free: the simulated network
+    serializes each sender's NIC FIFO, and a ``multiprocessing`` queue
+    preserves the put order of any single producer.
+    """
+
+    def send(
+        self, src: int, dst: int, kind: str, payload: Any, size_bytes: int
+    ) -> None:
+        """Deliver ``payload`` from machine ``src`` to machine ``dst``."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+        ...  # pragma: no cover - protocol
+
+
+class RuntimeBackendError(RuntimeError):
+    """Base class of structured runtime-backend failures."""
+
+
+class WorkerDiedError(RuntimeBackendError):
+    """A worker process exited (or crashed) while training was in flight."""
+
+    def __init__(self, worker_id: int, exitcode: int | None, detail: str = ""):
+        self.worker_id = worker_id
+        self.exitcode = exitcode
+        message = (
+            f"worker {worker_id} died mid-run "
+            f"(exitcode={exitcode if exitcode is not None else 'unknown'})"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class MessageTimeoutError(RuntimeBackendError):
+    """No protocol message arrived within the configured timeout."""
+
+    def __init__(self, timeout_seconds: float, waiting_for: str):
+        self.timeout_seconds = timeout_seconds
+        super().__init__(
+            f"no message for {timeout_seconds:.1f}s while waiting for "
+            f"{waiting_for}; transport presumed wedged"
+        )
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Knobs of the multiprocess backend (ignored by the simulator).
+
+    ``message_timeout_seconds`` bounds the silence the master-side driver
+    tolerates between protocol messages before declaring the transport
+    wedged; ``poll_interval_seconds`` is how often it additionally checks
+    worker liveness while waiting.  ``start_method`` picks the
+    ``multiprocessing`` context (``None`` = ``fork`` where available,
+    else the platform default).  ``crash_worker_after`` is a fault-injection
+    hook for tests: ``(worker_id, n_messages)`` hard-kills that worker
+    process after it handles ``n_messages`` messages.
+    """
+
+    message_timeout_seconds: float = 30.0
+    poll_interval_seconds: float = 0.05
+    start_method: str | None = None
+    crash_worker_after: tuple[int, int] | None = None
+
+
+class Runtime(abc.ABC):
+    """One training substrate; ``fit`` runs the full protocol on it."""
+
+    #: Backend name as accepted by ``TreeServer(..., backend=...)``.
+    name: str = ""
+
+    def __init__(self, system: "SystemConfig", cost: "CostModel") -> None:
+        self.system = system
+        self.cost = cost
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        table: "DataTable",
+        jobs: "list[TrainingJob]",
+        **kwargs: Any,
+    ) -> "RunReport":
+        """Train all jobs on the table; returns models plus run metrics."""
+
+    @staticmethod
+    def validate(table: "DataTable", jobs: "list[TrainingJob]") -> None:
+        """Shared admission checks, identical across backends."""
+        if not jobs:
+            raise ValueError("no jobs submitted")
+        if table.n_rows < 1:
+            raise ValueError("empty training table")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique")
+
+
+def create_runtime(
+    backend: str,
+    system: "SystemConfig",
+    cost: "CostModel",
+    options: RuntimeOptions | None = None,
+) -> Runtime:
+    """Instantiate the runtime for a backend name (``"sim"`` or ``"mp"``)."""
+    if backend == "sim":
+        from .sim import SimRuntime
+
+        return SimRuntime(system, cost)
+    if backend == "mp":
+        from .process import ProcessRuntime
+
+        return ProcessRuntime(system, cost, options or RuntimeOptions())
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS}"
+    )

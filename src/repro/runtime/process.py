@@ -1,0 +1,492 @@
+"""Multiprocess backend: the TreeServer protocol on real OS cores.
+
+Topology is a star of ``multiprocessing`` queues — one inbox per machine
+id, every process holding every inbox — so workers exchange row ids and
+column data **peer to peer**, exactly like the simulated data plane
+(Section V: the master never relays row ids).  Machine 0 (the master) is
+the parent process: it runs the unmodified
+:class:`~repro.core.master.MasterActor` state machine over
+:class:`~repro.runtime.local.LocalCluster` shims; machines ``1..n`` are
+child processes each owning their column shards and running the unmodified
+:class:`~repro.core.worker.WorkerActor`.
+
+Failure semantics (the edges the simulator never has):
+
+* **worker death** — the driver polls child liveness whenever its inbox is
+  quiet; a dead process (and a worker-side exception, which ships its
+  traceback home first) surfaces as a structured
+  :class:`~repro.runtime.base.WorkerDiedError`, never a hang;
+* **wedged transport** — silence longer than
+  ``RuntimeOptions.message_timeout_seconds`` raises
+  :class:`~repro.runtime.base.MessageTimeoutError`;
+* **shutdown** — on success, error or KeyboardInterrupt alike, the pool is
+  drained and joined (terminate → join → kill escalation), so no orphaned
+  workers survive the run.
+
+Parity: split arbitration is ``min (score, column)`` over exact per-column
+results and all randomness is derived from ``(tree seed, node path)``, so
+which worker computes what (timing-dependent, load-balanced) never affects
+the trained model — the forest is bit-identical to ``backend="sim"``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+import traceback
+from typing import Any
+
+import multiprocessing
+
+from ..cluster.cost import CostModel
+from ..cluster.metrics import ClusterReport, MachineReport
+from ..cluster.network import Message
+from ..core.config import SystemConfig
+from ..core.jobs import TrainingJob
+from ..core.load_balance import assign_columns_to_workers
+from ..core.master import MasterActor, _TableInfo
+from ..core.tasks import (
+    MSG_SHUTDOWN,
+    MSG_WORKER_ERROR,
+    MSG_WORKER_STATS,
+    ShutdownMsg,
+    WorkerErrorMsg,
+    WorkerStatsMsg,
+)
+from ..data.table import DataTable
+from .base import (
+    MessageTimeoutError,
+    Runtime,
+    RuntimeOptions,
+    WorkerDiedError,
+)
+from .local import LocalCluster
+
+#: Exit code of the fault-injection hook (distinguishable from crashes).
+CRASH_EXITCODE = 71
+
+
+class QueueFabric:
+    """The shared send fabric: one inbox queue per machine id.
+
+    Implements :class:`~repro.runtime.base.Transport` for whichever
+    process holds it; a single producer's puts into one queue stay FIFO,
+    which is all the protocol requires of message ordering.
+    """
+
+    def __init__(self, queues: list) -> None:
+        self.queues = queues
+
+    def send(
+        self, src: int, dst: int, kind: str, payload: Any, size_bytes: int
+    ) -> None:
+        """Enqueue one message into the destination's inbox."""
+        self.queues[dst].put(Message(src, dst, kind, payload, size_bytes))
+
+    def close(self) -> None:
+        """Close all queues without waiting for feeder flushes."""
+        for q in self.queues:
+            q.close()
+            q.cancel_join_thread()
+
+
+def _worker_main(
+    worker_id: int,
+    n_workers: int,
+    table: DataTable,
+    held_columns: set[int],
+    queues: list,
+    cost: CostModel,
+    poll_seconds: float,
+    crash_after: int | None,
+) -> None:
+    """Entry point of one worker process: an event loop around the actor.
+
+    Runs until a :class:`ShutdownMsg` arrives (reply with run-end stats,
+    exit 0), the parent disappears (exit silently — we are orphaned), or
+    the actor raises (ship the traceback to the driver, exit 1).
+    ``crash_after`` hard-kills the process after that many handled
+    messages — the fault-injection hook behind the worker-death tests.
+    """
+    from ..core.worker import WorkerActor  # import here: cheap under fork
+
+    fabric = QueueFabric(queues)
+    cluster = LocalCluster(n_workers, cost, fabric)
+    actor = WorkerActor(cluster, worker_id, table, held_columns)
+    machine = cluster.machines[worker_id]
+    inbox = queues[worker_id]
+    handled = 0
+    try:
+        while True:
+            try:
+                message = inbox.get(timeout=poll_seconds)
+            except queue_module.Empty:
+                parent = multiprocessing.parent_process()
+                if parent is not None and not parent.is_alive():
+                    return  # orphaned; nothing useful left to do
+                continue
+            if isinstance(message.payload, ShutdownMsg):
+                stats = WorkerStatsMsg(
+                    worker=worker_id,
+                    outstanding=actor.outstanding_state(),
+                    mem_task_bytes=machine.stats.mem_task_bytes,
+                    mem_task_peak=machine.stats.mem_task_peak,
+                    mem_base_bytes=machine.stats.mem_base_bytes,
+                    messages_handled=handled,
+                    messages_sent=cluster.messages_sent,
+                    ops_executed=machine.stats.ops_executed,
+                    bytes_by_kind=dict(cluster.bytes_by_kind),
+                )
+                queues[0].put(
+                    Message(worker_id, 0, MSG_WORKER_STATS, stats, 0)
+                )
+                return  # normal exit flushes the queue feeder threads
+            handled += 1
+            actor.handle_message(message)
+            if crash_after is not None and handled >= crash_after:
+                # Simulated hard crash: no goodbye, no feeder flush.
+                os._exit(CRASH_EXITCODE)
+    except BaseException as exc:  # noqa: BLE001 - ship any failure home
+        error = WorkerErrorMsg(
+            worker=worker_id,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+        try:
+            queues[0].put(Message(worker_id, 0, MSG_WORKER_ERROR, error, 0))
+        except Exception:  # the fabric itself may be gone
+            pass
+        raise SystemExit(1)
+
+
+class ProcessTransport:
+    """Owns the queue fabric and the worker process pool."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        table: DataTable,
+        placement: dict[int, list[int]],
+        cost: CostModel,
+        options: RuntimeOptions,
+    ) -> None:
+        method = options.start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else None
+        self._ctx = multiprocessing.get_context(method)
+        self.n_workers = n_workers
+        self.queues = [self._ctx.Queue() for _ in range(n_workers + 1)]
+        self.fabric = QueueFabric(self.queues)
+        self.processes: dict[int, Any] = {}
+        crash = options.crash_worker_after
+        for wid in range(1, n_workers + 1):
+            held = {c for c, ws in placement.items() if wid in ws}
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    wid,
+                    n_workers,
+                    table,
+                    held,
+                    self.queues,
+                    cost,
+                    options.poll_interval_seconds,
+                    crash[1] if crash is not None and crash[0] == wid else None,
+                ),
+                name=f"repro-worker-{wid}",
+                daemon=True,
+            )
+            process.start()
+            self.processes[wid] = process
+
+    # -- driver-side sends / receives -----------------------------------
+    def send(
+        self, src: int, dst: int, kind: str, payload: Any, size_bytes: int
+    ) -> None:
+        """Transport interface: parent-side send into any inbox."""
+        self.fabric.send(src, dst, kind, payload, size_bytes)
+
+    def recv_master(self, timeout: float) -> Message:
+        """Blocking receive from the master inbox (raises ``queue.Empty``)."""
+        return self.queues[0].get(timeout=timeout)
+
+    # -- liveness -------------------------------------------------------
+    def check_alive(self, allow_clean_exit: bool = False) -> None:
+        """Raise :class:`WorkerDiedError` if any worker process is gone.
+
+        ``allow_clean_exit`` tolerates exit code 0 (the shutdown phase,
+        where workers legitimately finish after reporting their stats).
+        """
+        for wid, process in self.processes.items():
+            code = process.exitcode
+            if code is None:
+                continue
+            if allow_clean_exit and code == 0:
+                continue
+            raise WorkerDiedError(wid, code)
+
+    # -- teardown -------------------------------------------------------
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Drain and join the pool; escalate terminate → kill. Idempotent."""
+        for process in self.processes.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes.values():
+            process.join(timeout=join_timeout)
+            if process.is_alive():  # pragma: no cover - stuck in C code
+                process.kill()
+                process.join(timeout=join_timeout)
+        self.fabric.close()
+
+    def close(self) -> None:
+        """Transport interface alias for :meth:`shutdown`."""
+        self.shutdown()
+
+
+class ProcessRuntime(Runtime):
+    """Training on real cores: one OS process per worker machine."""
+
+    name = "mp"
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        cost: CostModel,
+        options: RuntimeOptions | None = None,
+    ) -> None:
+        super().__init__(system, cost)
+        self.options = options or RuntimeOptions()
+
+    def fit(self, table: DataTable, jobs: list[TrainingJob], **kwargs: Any):
+        """Run the full protocol over real processes; see ``TreeServer.fit``."""
+        for feature in (
+            "crash_plans",
+            "secondary_master",
+            "record_timeline",
+            "max_events",
+        ):
+            if kwargs.get(feature):
+                raise ValueError(
+                    f"{feature} is only supported on the sim backend"
+                )
+        self.validate(table, jobs)
+        start = time.perf_counter()
+        placement = assign_columns_to_workers(
+            table.n_columns,
+            list(range(1, self.system.n_workers + 1)),
+            self.system.column_replication,
+        )
+        transport = ProcessTransport(
+            self.system.n_workers, table, placement, self.cost, self.options
+        )
+        try:
+            report = self._drive(table, jobs, placement, transport, start)
+        finally:
+            transport.shutdown()
+        return report
+
+    # ------------------------------------------------------------------
+    def _drive(
+        self,
+        table: DataTable,
+        jobs: list[TrainingJob],
+        placement: dict[int, list[int]],
+        transport: ProcessTransport,
+        start: float,
+    ):
+        """Master-side event loop: pump plans out, fold results in."""
+        from ..core.server import RunReport
+
+        options = self.options
+        cluster = LocalCluster(self.system.n_workers, self.cost, transport)
+        info = _TableInfo(
+            n_rows=table.n_rows,
+            n_columns=table.n_columns,
+            problem=table.problem,
+            n_classes=table.n_classes,
+        )
+        master = MasterActor(cluster, info, jobs, self.system, placement)
+        master.start()
+        cluster.engine.drain()
+
+        messages_handled = 0
+        last_message = time.monotonic()
+        while not master.is_done():
+            try:
+                message = transport.recv_master(options.poll_interval_seconds)
+            except queue_module.Empty:
+                transport.check_alive()
+                if (
+                    time.monotonic() - last_message
+                    > options.message_timeout_seconds
+                ):
+                    raise MessageTimeoutError(
+                        options.message_timeout_seconds,
+                        f"task results "
+                        f"({master.pool.completed_trees}/"
+                        f"{master.pool.total_trees} trees done)",
+                    )
+                continue
+            last_message = time.monotonic()
+            payload = message.payload
+            if isinstance(payload, WorkerErrorMsg):
+                raise WorkerDiedError(
+                    payload.worker,
+                    1,
+                    f"{payload.error}\n{payload.traceback}",
+                )
+            messages_handled += 1
+            master.handle_message(message)
+            cluster.engine.drain()
+
+        stats = self._collect_worker_stats(transport)
+        self._check_invariants(master, stats)
+        wall = time.perf_counter() - start
+
+        master.counters.head_insertions = master.bplan.head_insertions
+        master.counters.tail_insertions = master.bplan.tail_insertions
+        master.counters.bplan_peak = max(
+            master.counters.bplan_peak, master.bplan.peak_size
+        )
+        models = {job.name: master.trained_trees(job.name) for job in jobs}
+        return RunReport(
+            sim_seconds=wall,
+            cluster=self._cluster_report(
+                wall, cluster, stats, messages_handled
+            ),
+            counters=master.counters,
+            models=models,
+            backend=self.name,
+            wall_seconds=wall,
+        )
+
+    # ------------------------------------------------------------------
+    def _collect_worker_stats(
+        self, transport: ProcessTransport
+    ) -> dict[int, WorkerStatsMsg]:
+        """Shutdown phase: every worker reports stats, then exits."""
+        for wid in range(1, self.system.n_workers + 1):
+            transport.send(0, wid, MSG_SHUTDOWN, ShutdownMsg(), 0)
+        stats: dict[int, WorkerStatsMsg] = {}
+        deadline = time.monotonic() + self.options.message_timeout_seconds
+        while len(stats) < self.system.n_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = sorted(
+                    set(range(1, self.system.n_workers + 1)) - set(stats)
+                )
+                raise MessageTimeoutError(
+                    self.options.message_timeout_seconds,
+                    f"shutdown stats from workers {missing}",
+                )
+            try:
+                message = transport.recv_master(
+                    min(remaining, self.options.poll_interval_seconds)
+                )
+            except queue_module.Empty:
+                transport.check_alive(allow_clean_exit=True)
+                continue
+            payload = message.payload
+            if isinstance(payload, WorkerErrorMsg):
+                raise WorkerDiedError(
+                    payload.worker,
+                    1,
+                    f"{payload.error}\n{payload.traceback}",
+                )
+            if isinstance(payload, WorkerStatsMsg):
+                stats[payload.worker] = payload
+            # Anything else is a straggler of an already-resolved task
+            # (cannot happen with a correct protocol, but must not wedge
+            # the shutdown path); drop it.
+        return stats
+
+    @staticmethod
+    def _check_invariants(
+        master: MasterActor, stats: dict[int, WorkerStatsMsg]
+    ) -> None:
+        """The simulator's run-end invariants, from remote stats reports."""
+        for wid in sorted(stats):
+            report = stats[wid]
+            leftovers = {k: v for k, v in report.outstanding.items() if v}
+            if leftovers:
+                raise RuntimeError(
+                    f"worker {wid} leaked task state: {leftovers}"
+                )
+            if report.mem_task_bytes != 0:
+                raise RuntimeError(
+                    f"worker {wid} leaked {report.mem_task_bytes} bytes "
+                    f"of task memory"
+                )
+        if not master.matrix.is_zero():
+            raise RuntimeError(
+                "load matrix did not return to zero: "
+                f"{master.matrix.snapshot()}"
+            )
+
+    def _cluster_report(
+        self,
+        wall: float,
+        cluster: LocalCluster,
+        stats: dict[int, WorkerStatsMsg],
+        messages_handled: int,
+    ) -> ClusterReport:
+        """Paper-style summary from real-process counters.
+
+        CPU percent is the cost model's op estimate re-expressed over
+        wall-clock — an indicative utilization figure, not a measured one.
+        """
+        report = ClusterReport(
+            elapsed_seconds=wall, events_processed=messages_handled
+        )
+        master_bytes = sum(cluster.bytes_by_kind.values())
+        report.machines.append(
+            MachineReport(
+                machine_id=0,
+                cpu_percent=0.0,
+                bytes_sent=master_bytes,
+                bytes_received=0,
+                send_mbps=(master_bytes * 8 / wall / 1e6) if wall > 0 else 0.0,
+                peak_memory_bytes=0,
+                items_executed=messages_handled,
+            )
+        )
+        bytes_by_kind = dict(cluster.bytes_by_kind)
+        for wid in sorted(stats):
+            worker = stats[wid]
+            sent = sum(worker.bytes_by_kind.values())
+            for kind, nbytes in worker.bytes_by_kind.items():
+                bytes_by_kind[kind] = bytes_by_kind.get(kind, 0) + nbytes
+            seconds_of_ops = worker.ops_executed / self.cost.ops_per_second
+            report.machines.append(
+                MachineReport(
+                    machine_id=wid,
+                    cpu_percent=(
+                        100.0 * seconds_of_ops / wall if wall > 0 else 0.0
+                    ),
+                    bytes_sent=sent,
+                    bytes_received=0,
+                    send_mbps=(sent * 8 / wall / 1e6) if wall > 0 else 0.0,
+                    peak_memory_bytes=worker.mem_base_bytes
+                    + worker.mem_task_peak,
+                    items_executed=worker.messages_handled,
+                )
+            )
+        workers = [m for m in report.machines if m.machine_id != 0]
+        if workers:
+            report.avg_worker_cpu_percent = sum(
+                w.cpu_percent for w in workers
+            ) / len(workers)
+            report.max_worker_cpu_percent = max(w.cpu_percent for w in workers)
+            report.avg_worker_send_mbps = sum(
+                w.send_mbps for w in workers
+            ) / len(workers)
+            report.max_worker_send_mbps = max(w.send_mbps for w in workers)
+            report.avg_peak_memory_bytes = sum(
+                w.peak_memory_bytes for w in workers
+            ) / len(workers)
+        report.master_send_mbps = report.machines[0].send_mbps
+        report.total_bytes = sum(m.bytes_sent for m in report.machines)
+        report.bytes_by_kind = bytes_by_kind
+        return report

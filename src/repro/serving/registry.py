@@ -14,8 +14,13 @@ cached under a SHA-256 **content hash of the persisted form** (see
 * the evaluation harness and CLI score every model through the flat-array
   kernel without recompiling per call.
 
-Eviction is LRU with a small default capacity — serving deployments pin a
-handful of hot models, and a cold model is one reload away.
+Eviction is LRU under two independent bounds: a compiled-**byte** budget
+(``max_bytes`` — the bound that matters operationally, since entries can
+differ by orders of magnitude in size) and an optional entry-count cap
+(``capacity``).  The most recent entry is never evicted, so one oversized
+model still serves (and is simply not retained alongside anything else).
+Serving deployments pin a handful of hot models; a cold model is one
+reload away.
 """
 
 from __future__ import annotations
@@ -68,6 +73,10 @@ class RegistryStats:
     misses: int = 0
     evictions: int = 0
     compiled_nodes: int = 0
+    #: Compiled bytes of evicted entries (byte-budget pressure indicator).
+    bytes_evicted: int = 0
+    #: High-water mark of resident compiled bytes.
+    peak_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -81,14 +90,28 @@ class RegistryStats:
 
 
 class ModelRegistry:
-    """LRU cache of compiled models keyed by persisted-form content hash."""
+    """LRU cache of compiled models keyed by persisted-form content hash.
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
-        if capacity < 1:
+    ``max_bytes`` bounds the total compiled bytes resident (the accounting
+    unit that tracks real memory); ``capacity`` optionally also bounds the
+    entry count (``None`` disables it).  Either bound evicts least
+    recently used first, but never the entry just inserted.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = DEFAULT_CAPACITY,
+        max_bytes: int | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
             raise ValueError("registry capacity must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("registry max_bytes must be >= 1")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self.stats = RegistryStats()
         self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
+        self._total_bytes = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -101,9 +124,14 @@ class ModelRegistry:
         """Cached fingerprints, least- to most-recently used."""
         return list(self._entries)
 
+    def total_bytes(self) -> int:
+        """Compiled bytes currently resident across all entries."""
+        return self._total_bytes
+
     def clear(self) -> None:
         """Drop every cached model (counters are kept)."""
         self._entries.clear()
+        self._total_bytes = 0
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> RegistryEntry | None:
@@ -125,13 +153,27 @@ class ModelRegistry:
             compiled=compiled,
             predictor=BatchPredictor(compiled),
         )
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._total_bytes -= previous.nbytes()
         self._entries[key] = entry
-        self._entries.move_to_end(key)
+        self._total_bytes += entry.nbytes()
         self.stats.compiled_nodes += compiled.total_nodes()
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self._total_bytes)
+        while len(self._entries) > 1 and self._over_budget():
+            _, evicted = self._entries.popitem(last=False)
+            self._total_bytes -= evicted.nbytes()
             self.stats.evictions += 1
+            self.stats.bytes_evicted += evicted.nbytes()
         return entry
+
+    def _over_budget(self) -> bool:
+        """Whether either retention bound is currently exceeded."""
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            return True
+        return (
+            self.max_bytes is not None and self._total_bytes > self.max_bytes
+        )
 
     def get_or_compile(
         self, model: ForestModel | DecisionTree, key: str | None = None

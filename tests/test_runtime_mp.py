@@ -1,0 +1,278 @@
+"""The multiprocess runtime: parity, robustness, shutdown hygiene.
+
+The headline guarantee: ``TreeServer(..., backend="mp")`` — real worker
+processes exchanging pickled protocol messages over queues — trains a
+forest **bit-identical** to the deterministic simulator on the same
+table, config and seed.  Split arbitration is ``min (score, column)``
+and all per-node randomness derives from ``(tree seed, node path)``, so
+scheduling nondeterminism (which replica computes which column, message
+arrival order) must never leak into the model.
+
+The robustness edges the simulator cannot exercise are pinned here too:
+a worker process hard-killed mid-run surfaces as a structured
+:class:`WorkerDiedError` within the configured timeout (never a hang),
+worker-side exceptions ship their traceback home, and the process pool
+is always drained and joined — on success and on failure.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import pickle
+import queue as queue_module
+import time
+
+import pytest
+
+from repro import (
+    SystemConfig,
+    TreeConfig,
+    TreeServer,
+    decision_tree_job,
+    extra_trees_job,
+    random_forest_job,
+    trees_equal,
+)
+from repro.datasets import dataset_spec, generate
+from repro.runtime import (
+    ProcessRuntime,
+    RuntimeOptions,
+    SimRuntime,
+    WorkerDiedError,
+    create_runtime,
+)
+from repro.runtime.base import MessageTimeoutError, RuntimeBackendError
+
+#: Tight-but-safe timeout: failure tests must finish fast, CI must not flake.
+FAST = RuntimeOptions(message_timeout_seconds=15.0, poll_interval_seconds=0.02)
+
+
+def _table(name="higgs_boson"):
+    return generate(dataset_spec(name, small=True))
+
+
+def _system(n_workers=3, **kw):
+    table_rows = kw.pop("table_rows", 700)
+    return SystemConfig(
+        n_workers=n_workers, compers_per_worker=2, **kw
+    ).scaled_to(table_rows)
+
+
+def _fit(backend, table, jobs, n_workers=3, **kw):
+    server = TreeServer(
+        _system(n_workers, table_rows=table.n_rows),
+        backend=backend,
+        runtime_options=FAST,
+    )
+    return server.fit(table, jobs, **kw)
+
+
+def assert_bit_identical(sim_trees, mp_trees):
+    """Trees must match structurally *and* in serialized form."""
+    assert len(sim_trees) == len(mp_trees)
+    for a, b in zip(sim_trees, mp_trees):
+        assert trees_equal(a, b)
+        assert a.to_dict() == b.to_dict()
+
+
+# ----------------------------------------------------------------------
+# parity
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_random_forest_bit_identical(self):
+        table = _table()
+        jobs = [random_forest_job("rf", 4, TreeConfig(max_depth=8), seed=5)]
+        sim = _fit("sim", table, jobs)
+        mp = _fit("mp", table, jobs)
+        assert_bit_identical(sim.trees("rf"), mp.trees("rf"))
+        assert mp.backend == "mp" and sim.backend == "sim"
+        assert mp.wall_seconds > 0
+
+    def test_extra_trees_and_bootstrap_bit_identical(self):
+        """Seeded randomness (thresholds, bootstraps) replays identically."""
+        table = _table("covtype")
+        jobs = [
+            extra_trees_job("xt", 3, TreeConfig(max_depth=6), seed=11),
+            random_forest_job(
+                "rf", 2, TreeConfig(max_depth=6), seed=2, bootstrap_rows=True
+            ),
+        ]
+        sim = _fit("sim", table, jobs)
+        mp = _fit("mp", table, jobs)
+        assert_bit_identical(sim.trees("xt"), mp.trees("xt"))
+        assert_bit_identical(sim.trees("rf"), mp.trees("rf"))
+
+    def test_regression_single_tree_bit_identical(self):
+        table = _table("allstate")
+        jobs = [
+            decision_tree_job(
+                "dt", TreeConfig(max_depth=7, min_impurity_decrease=1e-9)
+            )
+        ]
+        sim = _fit("sim", table, jobs)
+        mp = _fit("mp", table, jobs)
+        assert_bit_identical(sim.trees("dt"), mp.trees("dt"))
+
+    def test_parity_across_worker_counts(self):
+        """The model is a function of the data and seed, not the cluster."""
+        table = _table("covtype")
+        jobs = [random_forest_job("rf", 3, TreeConfig(max_depth=6), seed=9)]
+        reference = _fit("sim", table, jobs).trees("rf")
+        for n_workers in (1, 2, 4):
+            got = _fit("mp", table, jobs, n_workers=n_workers).trees("rf")
+            assert_bit_identical(reference, got)
+
+
+# ----------------------------------------------------------------------
+# smoke / reporting
+# ----------------------------------------------------------------------
+class TestReporting:
+    def test_report_counters_and_metrics(self):
+        table = _table("covtype")
+        jobs = [random_forest_job("rf", 3, TreeConfig(max_depth=6), seed=1)]
+        report = _fit("mp", table, jobs, n_workers=2)
+        assert report.counters.trees_completed == 3
+        assert report.counters.plans_dispatched > 0
+        # Every machine reported in; the data plane actually moved bytes.
+        assert len(report.cluster.machines) == 3
+        assert report.cluster.total_bytes > 0
+        assert report.cluster.bytes_by_kind.get("column_plan", 0) > 0
+        assert report.sim_seconds == report.wall_seconds
+
+    def test_no_orphan_processes_after_fit(self):
+        table = _table("covtype")
+        _fit("mp", table, [decision_tree_job("dt", TreeConfig(max_depth=5))])
+        assert multiprocessing.active_children() == []
+
+    def test_models_pickle_identically(self):
+        """The mp-trained model is the same *bytes* once persisted."""
+        table = _table("covtype")
+        jobs = [decision_tree_job("dt", TreeConfig(max_depth=6))]
+        sim_tree = _fit("sim", table, jobs).tree("dt")
+        mp_tree = _fit("mp", table, jobs).tree("dt")
+        assert pickle.dumps(sim_tree.to_dict()) == pickle.dumps(
+            mp_tree.to_dict()
+        )
+
+
+# ----------------------------------------------------------------------
+# failure semantics
+# ----------------------------------------------------------------------
+class TestFailures:
+    def test_killed_worker_raises_structured_error(self):
+        """A hard-killed worker surfaces as WorkerDiedError, not a hang."""
+        table = _table()
+        options = RuntimeOptions(
+            message_timeout_seconds=10.0,
+            poll_interval_seconds=0.02,
+            crash_worker_after=(1, 2),  # worker 1 dies after 2 messages
+        )
+        server = TreeServer(
+            _system(2, table_rows=table.n_rows),
+            backend="mp",
+            runtime_options=options,
+        )
+        with pytest.raises(WorkerDiedError) as info:
+            server.fit(
+                table, [random_forest_job("rf", 4, TreeConfig(max_depth=8))]
+            )
+        assert info.value.worker_id == 1
+        assert isinstance(info.value, RuntimeBackendError)
+        # The pool was reaped on the error path too.
+        assert multiprocessing.active_children() == []
+
+    def test_worker_exception_ships_traceback(self):
+        """A worker-side protocol error reaches the driver with its stack."""
+        from repro.core.load_balance import assign_columns_to_workers
+        from repro.core.tasks import MSG_ROW_REQUEST, RowRequestMsg, WorkerErrorMsg
+        from repro.runtime.process import ProcessTransport
+
+        table = _table("covtype")
+        system = _system(2, table_rows=table.n_rows)
+        placement = assign_columns_to_workers(table.n_columns, [1, 2], 2)
+        transport = ProcessTransport(
+            2, table, placement, TreeServer(system).cost, FAST
+        )
+        try:
+            # A row_request for a task the worker never planned makes the
+            # unmodified actor raise ProtocolError inside the child.
+            transport.send(
+                0, 1, MSG_ROW_REQUEST,
+                RowRequestMsg(
+                    parent_task=(99, 1), side=0, requester=2,
+                    tag=("column", (99, 2)),
+                ),
+                0,
+            )
+            payload = None
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    payload = transport.recv_master(0.05).payload
+                    break
+                except queue_module.Empty:
+                    continue
+            assert isinstance(payload, WorkerErrorMsg)
+            assert payload.worker == 1
+            assert "ProtocolError" in payload.error
+            assert "Traceback" in payload.traceback
+        finally:
+            transport.shutdown()
+        assert multiprocessing.active_children() == []
+
+    def test_sim_only_features_rejected(self):
+        table = _table("covtype")
+        server = TreeServer(_system(2), backend="mp", runtime_options=FAST)
+        with pytest.raises(ValueError, match="sim backend"):
+            server.fit(
+                table,
+                [decision_tree_job("dt")],
+                secondary_master=True,
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            TreeServer(backend="ray")
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_runtime("ray", _system(2), TreeServer(_system(2)).cost)
+
+    def test_timeout_error_message_names_progress(self):
+        error = MessageTimeoutError(2.5, "task results (1/4 trees done)")
+        assert "2.5s" in str(error)
+        assert "1/4 trees" in str(error)
+
+
+# ----------------------------------------------------------------------
+# runtime factory
+# ----------------------------------------------------------------------
+class TestFactory:
+    def test_create_runtime_dispatch(self):
+        system = _system(2)
+        cost = TreeServer(system).cost
+        assert isinstance(create_runtime("sim", system, cost), SimRuntime)
+        assert isinstance(create_runtime("mp", system, cost), ProcessRuntime)
+
+    def test_cli_train_mp_backend(self, tmp_path):
+        """`repro train --backend mp` end to end, identical to sim."""
+        from repro.cli import main
+        from repro.data.io import write_csv
+
+        table = _table("covtype")
+        csv = tmp_path / "data.csv"
+        write_csv(table, csv)
+        for backend, out_dir in (("mp", "m_mp"), ("sim", "m_sim")):
+            code = main(
+                [
+                    "train", "--csv", str(csv), "--target", "label",
+                    "--model-dir", str(tmp_path / out_dir), "--forest", "2",
+                    "--workers", "2", "--max-depth", "6",
+                    "--backend", backend,
+                ],
+                out=io.StringIO(),
+            )
+            assert code == 0
+        for name in ("tree_0.json", "tree_1.json"):
+            assert (tmp_path / "m_mp" / name).read_text() == (
+                tmp_path / "m_sim" / name
+            ).read_text()

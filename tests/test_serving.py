@@ -296,6 +296,58 @@ class TestRegistry:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             ModelRegistry(capacity=0)
+        with pytest.raises(ValueError):
+            ModelRegistry(max_bytes=0)
+
+    def test_byte_budget_eviction(self, small_mixed_classification):
+        models = [
+            make_forest(small_mixed_classification, n_trees=1, max_depth=d)
+            for d in (2, 3, 4)
+        ]
+        keys = [fingerprint_trees(m.trees) for m in models]
+        sizes = {}
+        probe = ModelRegistry(capacity=None)
+        for key, model in zip(keys, models):
+            sizes[key] = probe.put(key, model).nbytes()
+        # Budget fits the two largest models but not all three.
+        budget = sizes[keys[1]] + sizes[keys[2]]
+        assert budget < sum(sizes.values())
+
+        registry = ModelRegistry(capacity=None, max_bytes=budget)
+        for key, model in zip(keys, models):
+            registry.put(key, model)
+        assert keys[0] not in registry  # LRU fell to byte pressure
+        assert keys[1] in registry and keys[2] in registry
+        assert registry.total_bytes() == budget
+        assert registry.total_bytes() <= registry.max_bytes
+        assert registry.stats.evictions == 1
+        assert registry.stats.bytes_evicted == sizes[keys[0]]
+        assert registry.stats.peak_bytes == sum(sizes.values())
+
+    def test_oversized_entry_still_served(self, small_mixed_classification):
+        """One model over budget evicts everything else but itself."""
+        forest = make_forest(small_mixed_classification)
+        key = fingerprint_trees(forest.trees)
+        registry = ModelRegistry(capacity=None, max_bytes=1)
+        entry = registry.put(key, forest)
+        assert key in registry  # the newest entry is never evicted
+        assert registry.total_bytes() == entry.nbytes() > 1
+        small = make_forest(small_mixed_classification, n_trees=1, max_depth=2)
+        registry.put(fingerprint_trees(small.trees), small)
+        assert key not in registry  # now it is the LRU and over budget
+        assert len(registry) == 1
+
+    def test_replacement_does_not_leak_bytes(
+        self, small_mixed_classification
+    ):
+        forest = make_forest(small_mixed_classification)
+        key = fingerprint_trees(forest.trees)
+        registry = ModelRegistry()
+        first = registry.put(key, forest).nbytes()
+        registry.put(key, forest)  # same key: replaces, must not double-count
+        assert registry.total_bytes() == first
+        registry.clear()
+        assert registry.total_bytes() == 0 and len(registry) == 0
 
     def test_load_compiled_local_skips_reload(
         self, small_mixed_classification, tmp_path
