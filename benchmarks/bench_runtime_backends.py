@@ -22,6 +22,17 @@ every process shares the one core and the backend can only add overhead
 — so the assertion degrades to a bounded-overhead check.  The JSON
 written to ``BENCH_runtime.json`` records ``cores`` so a reader can tell
 which regime produced the numbers.
+
+A second experiment measures the shared-memory data plane
+(``RuntimeOptions.use_shm``) against the pickle-everything baseline on a
+*data-plane-heavy* shape — ``tau_subtree = 1`` so every node is a column
+task and full replication so every split fans its row-id sets out to all
+workers.  The headline, deterministic metric is per-worker
+``bytes_pickled``: descriptors instead of arrays must cut it by well
+over half.  Wall clock is reported min-of-N with the same hardware
+awareness: on one core the copies saved are a small slice of a fully
+serialized run, so shm must merely stay within a noise-bound factor of
+the baseline; with real cores it must win somewhere.
 """
 
 import json
@@ -47,6 +58,17 @@ MAX_DEPTH = 10
 WORKER_COUNTS = (1, 2, 4)
 #: mp may cost at most this factor over sim when no parallelism exists.
 MAX_SINGLE_CORE_OVERHEAD = 2.0
+
+# -- shared-memory data-plane experiment --------------------------------
+DP_N_ROWS = 48_000
+DP_N_TREES = 4
+DP_MAX_DEPTH = 8
+DP_REPEATS = 3
+#: shm must cut per-worker pickled bytes by at least this factor.
+MIN_PICKLED_REDUCTION = 0.5
+#: On a single core the shm path may lag the baseline by at most this
+#: factor (scheduler noise dwarfs the few-ms copy savings there).
+SHM_SINGLE_CORE_TOLERANCE = 1.15
 
 REPO_ROOT = Path(__file__).parents[1]
 
@@ -145,9 +167,12 @@ def test_runtime_backends(run_once):
            "no parallel speedup physically possible")
     )
     save_result("runtime_backends", "\n".join(lines))
-    (REPO_ROOT / "BENCH_runtime.json").write_text(
-        json.dumps(result, indent=2) + "\n"
+    bench_path = REPO_ROOT / "BENCH_runtime.json"
+    merged = (
+        json.loads(bench_path.read_text()) if bench_path.exists() else {}
     )
+    merged.update(result)  # keep the dataplane section, if present
+    bench_path.write_text(json.dumps(merged, indent=2) + "\n")
 
     multi_worker = [r for r in result["runs"] if r["n_workers"] >= 2]
     if cores >= 2:
@@ -160,4 +185,149 @@ def test_runtime_backends(run_once):
         assert all(
             r["mp_speedup"] >= 1.0 / MAX_SINGLE_CORE_OVERHEAD
             for r in multi_worker
+        ), result
+
+
+def test_shm_data_plane(run_once):
+    spec = SyntheticSpec(
+        name="dataplane-bench",
+        n_rows=DP_N_ROWS,
+        n_numeric=8,
+        n_categorical=2,
+        n_classes=4,
+        planted_depth=7,
+        noise=0.25,
+        missing_rate=0.0,
+        seed=7,
+    )
+    table = generate(spec)
+    jobs = [
+        random_forest_job(
+            "rf", DP_N_TREES, TreeConfig(max_depth=DP_MAX_DEPTH), seed=1
+        )
+    ]
+
+    def system(n_workers: int) -> SystemConfig:
+        # Data-plane-heavy shape: tau_subtree = 1 keeps every node a
+        # column task, and full replication fans each node's row-id sets
+        # out to every worker — the traffic the shm arena exists for.
+        return SystemConfig(
+            n_workers=n_workers,
+            compers_per_worker=2,
+            tau_subtree=1,
+            tau_dfs=1,
+            column_replication=n_workers,
+        )
+
+    def fit_once(n_workers: int, use_shm: bool):
+        server = TreeServer(
+            system(n_workers),
+            backend="mp",
+            runtime_options=RuntimeOptions(
+                message_timeout_seconds=120.0, use_shm=use_shm
+            ),
+        )
+        start = time.perf_counter()
+        report = server.fit(table, jobs)
+        return time.perf_counter() - start, report
+
+    def experiment():
+        reference = (
+            TreeServer(system(2), backend="sim").fit(table, jobs).trees("rf")
+        )
+        rows = []
+        for n_workers in WORKER_COUNTS:
+            walls = {True: [], False: []}
+            transports = {}
+            for _ in range(DP_REPEATS):  # interleaved: fair under noise
+                for use_shm in (True, False):
+                    wall, report = fit_once(n_workers, use_shm)
+                    walls[use_shm].append(wall)
+                    transports[use_shm] = report.cluster.transport
+                    trees = report.trees("rf")
+                    assert all(
+                        trees_equal(a, b) for a, b in zip(reference, trees)
+                    )
+
+            def per_worker_pickled(transport) -> float:
+                counters = transport["per_worker"].values()
+                return sum(c["bytes_pickled"] for c in counters) / len(
+                    transport["per_worker"]
+                )
+
+            on, off = transports[True], transports[False]
+            rows.append(
+                {
+                    "n_workers": n_workers,
+                    "shm_wall_seconds": min(walls[True]),
+                    "baseline_wall_seconds": min(walls[False]),
+                    "shm_speedup": min(walls[False]) / min(walls[True]),
+                    "shm_bytes_pickled_per_worker": per_worker_pickled(on),
+                    "baseline_bytes_pickled_per_worker": per_worker_pickled(
+                        off
+                    ),
+                    "pickled_ratio": per_worker_pickled(on)
+                    / per_worker_pickled(off),
+                    "shm_bytes_mapped": on["shm_bytes_mapped"],
+                    "coalesced_batches": on["coalesced_batches"],
+                }
+            )
+        return {
+            "n_rows": table.n_rows,
+            "n_trees": DP_N_TREES,
+            "max_depth": DP_MAX_DEPTH,
+            "repeats": DP_REPEATS,
+            "cores": _cores(),
+            "parity": "bit-identical across sim, mp+shm, mp baseline",
+            "runs": rows,
+        }
+
+    result = run_once(experiment)
+
+    cores = result["cores"]
+    lines = [
+        f"Shared-memory data plane ({result['n_rows']:,} rows, "
+        f"{DP_N_TREES} trees, depth {DP_MAX_DEPTH}, column tasks only, "
+        f"min of {DP_REPEATS}, {cores} core(s))",
+        f"{'workers':>8s}{'shm wall':>12s}{'base wall':>12s}"
+        f"{'speedup':>10s}{'pickled/worker':>18s}{'ratio':>8s}",
+    ]
+    for row in result["runs"]:
+        lines.append(
+            f"{row['n_workers']:>8d}"
+            f"{row['shm_wall_seconds']:>11.2f}s"
+            f"{row['baseline_wall_seconds']:>11.2f}s"
+            f"{row['shm_speedup']:>9.2f}x"
+            f"{row['shm_bytes_pickled_per_worker'] / 1e6:>8.2f}"
+            f"/{row['baseline_bytes_pickled_per_worker'] / 1e6:<.2f}MB"
+            f"{row['pickled_ratio']:>8.2f}"
+        )
+    save_result("shm_data_plane", "\n".join(lines))
+
+    bench_path = REPO_ROOT / "BENCH_runtime.json"
+    merged = (
+        json.loads(bench_path.read_text()) if bench_path.exists() else {}
+    )
+    merged["dataplane"] = result
+    bench_path.write_text(json.dumps(merged, indent=2) + "\n")
+
+    # Deterministic headline: descriptors instead of arrays must cut each
+    # worker's pickled bytes by more than half, at every worker count.
+    assert all(
+        r["pickled_ratio"] <= MIN_PICKLED_REDUCTION for r in result["runs"]
+    ), result
+    if cores >= 2:
+        # Real cores: less serialized copying must show up somewhere as
+        # wall-clock, and never cost wall-clock anywhere.
+        assert any(r["shm_speedup"] >= 1.0 for r in result["runs"]), result
+        assert all(
+            r["shm_speedup"] >= 1.0 / SHM_SINGLE_CORE_TOLERANCE
+            for r in result["runs"]
+        ), result
+    else:
+        # One core: every byte moves through the same CPU either way, so
+        # only a noise-bounded regression would indicate a real problem.
+        assert all(
+            r["shm_speedup"] >= 1.0 / SHM_SINGLE_CORE_TOLERANCE
+            for r in result["runs"]
         ), result

@@ -83,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mp backend: max silence between protocol messages before "
         "the run is declared wedged",
     )
+    train.add_argument(
+        "--shm", action=argparse.BooleanOptionalAction, default=True,
+        help="mp backend: shared-memory data plane — column table in shm "
+        "segments, large row-id sets shipped as descriptors "
+        "(default: on; --no-shm pickles everything through the queues)",
+    )
 
     predict = sub.add_parser("predict", help="apply a saved model to a CSV")
     predict.add_argument("--csv", required=True)
@@ -168,7 +174,9 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
     system = SystemConfig(
         n_workers=args.workers, compers_per_worker=args.compers
     ).scaled_to(table.n_rows)
-    options = RuntimeOptions(message_timeout_seconds=args.mp_timeout)
+    options = RuntimeOptions(
+        message_timeout_seconds=args.mp_timeout, use_shm=args.shm
+    )
     server = TreeServer(
         system, backend=args.backend, runtime_options=options
     )
@@ -192,6 +200,17 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
         f"({table.n_columns} columns) {timing}",
         file=out,
     )
+    transport = report.cluster.transport
+    if transport:
+        print(
+            f"data plane: shm={'on' if transport['shm'] else 'off'} "
+            f"start={transport['start_method']} "
+            f"messages={transport['messages_sent']} "
+            f"pickled={transport['bytes_pickled'] / 1e6:.2f}MB "
+            f"shm-mapped={transport['shm_bytes_mapped'] / 1e6:.2f}MB "
+            f"coalesced-batches={transport['coalesced_batches']}",
+            file=out,
+        )
     print(f"model saved to {args.model_dir}", file=out)
     return 0
 

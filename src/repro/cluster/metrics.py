@@ -44,6 +44,10 @@ class ClusterReport:
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
     avg_peak_memory_bytes: float = 0.0
     events_processed: int = 0
+    #: Real data-plane accounting (mp backend only): pickled bytes, shm
+    #: bytes mapped, coalesced batches — overall and per worker.  Empty
+    #: on the simulator, where no bytes physically move.
+    transport: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line human-readable digest."""

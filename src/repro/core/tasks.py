@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.schema import ProblemKind
+from ..data.shared import ShmSlice
 from .config import TreeConfig
 from .splits import CandidateSplit
 
@@ -40,6 +41,7 @@ MSG_TASK_DELETE = "task_delete"
 MSG_EXPECT_FETCHES = "expect_fetches"
 MSG_ROW_REQUEST = "row_request"
 MSG_ROW_RESPONSE = "row_response"
+MSG_ROW_RESPONSE_SHM = "row_response_shm"
 MSG_COLUMN_REQUEST = "column_request"
 MSG_COLUMN_RESPONSE = "column_response"
 MSG_SUBTREE_RESULT = "subtree_result"
@@ -263,6 +265,24 @@ class RowResponseMsg:
 
 
 @dataclass
+class RowResponseShmMsg:
+    """Parent worker -> requester: the row ids, parked in shared memory.
+
+    The multiprocess backend's zero-copy variant of
+    :class:`RowResponseMsg`: ``ref`` is a :class:`~repro.data.shared.
+    ShmSlice` descriptor into the *sender's* arena.  The receiver copies
+    the slice out on arrival; the sender frees the slot when the master
+    confirms the child side resolved (``expect_fetches``), by which time
+    causality guarantees every fetcher has consumed its copy.  Never sent
+    on the simulator, and only for row sets at or above
+    ``RuntimeOptions.shm_threshold_bytes`` — small sets stay inline.
+    """
+
+    tag: tuple[str, TaskId]
+    ref: ShmSlice
+
+
+@dataclass
 class ColumnRequestMsg:
     """Key worker -> serving worker: fetch these columns of ``D_x``."""
 
@@ -407,6 +427,14 @@ class WorkerStatsMsg:
     messages_sent: int = 0
     ops_executed: float = 0.0
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    # -- transport data-plane counters (mp backend) --------------------
+    #: Actual serialized bytes this worker put on its queues.
+    bytes_pickled: int = 0
+    #: Shared bytes this worker consumed without pickling: its attached
+    #: table image plus every arena slice it copied out.
+    shm_bytes_mapped: int = 0
+    #: Queue puts that carried more than one coalesced message.
+    coalesced_batches: int = 0
 
 
 @dataclass
@@ -434,6 +462,7 @@ MESSAGE_DATACLASSES: tuple[type, ...] = (
     ExpectFetchesMsg,
     RowRequestMsg,
     RowResponseMsg,
+    RowResponseShmMsg,
     ColumnRequestMsg,
     ColumnResponseMsg,
     SubtreeResultMsg,

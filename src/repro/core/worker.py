@@ -28,6 +28,7 @@ import numpy as np
 from ..cluster.network import Message
 from ..cluster.topology import SimulatedCluster
 from ..data.schema import ColumnKind, ProblemKind
+from ..data.shared import ShmArena, ShmSlice
 from ..data.table import DataTable
 from .builder import build_subtree, extra_tree_split_rng
 from .config import TreeKind
@@ -44,6 +45,7 @@ from .tasks import (
     MSG_COLUMN_RESULT,
     MSG_ROW_REQUEST,
     MSG_ROW_RESPONSE,
+    MSG_ROW_RESPONSE_SHM,
     MSG_SPLIT_DONE,
     MSG_SUBTREE_RESULT,
     ColumnPlanMsg,
@@ -56,6 +58,7 @@ from .tasks import (
     RootRows,
     RowRequestMsg,
     RowResponseMsg,
+    RowResponseShmMsg,
     SplitConfirmMsg,
     SplitDoneMsg,
     SubtreePlanMsg,
@@ -106,12 +109,17 @@ class _DelegateStore:
     ``sides[0]`` / ``sides[1]`` are ``I_xl`` / ``I_xr``; each side is freed
     when the master reports the child task resolved (with the count of row
     fetches this store must have served — a sanity check on the protocol).
+    On the shm data plane, ``shm_refs`` caches the arena slice a side was
+    parked in: written once on the first fetch, every further fetch of the
+    same side re-sends the same descriptor, and the slot is freed together
+    with the side.
     """
 
     sides: dict[int, np.ndarray]
     served: dict[int, int]
     alloc_bytes: dict[int, int]
     resolved: set[int] = field(default_factory=set)
+    shm_refs: dict[int, ShmSlice] = field(default_factory=dict)
 
 
 class WorkerActor:
@@ -124,12 +132,19 @@ class WorkerActor:
         table: DataTable,
         held_columns: set[int],
         master_id: int = SimulatedCluster.MASTER,
+        arena: ShmArena | None = None,
+        shm_threshold_bytes: int = 8192,
     ) -> None:
         self.cluster = cluster
         self.worker_id = worker_id
         self.table = table
         self.held_columns = set(held_columns)
         self.master_id = master_id
+        #: Shared-memory row-id arena (multiprocess backend only).  When
+        #: set, row-id sets of at least ``shm_threshold_bytes`` travel as
+        #: :class:`ShmSlice` descriptors instead of pickled arrays.
+        self.arena = arena
+        self.shm_threshold_bytes = shm_threshold_bytes
         self.cost = cluster.cost
         self.machine = cluster.machines[worker_id]
         self._column_tasks: dict[TaskId, _ColumnTaskState] = {}
@@ -202,6 +217,8 @@ class WorkerActor:
             self._on_row_request(payload)
         elif isinstance(payload, RowResponseMsg):
             self._on_row_response(payload)
+        elif isinstance(payload, RowResponseShmMsg):
+            self._on_row_response_shm(payload)
         elif isinstance(payload, ColumnRequestMsg):
             self._on_column_request(payload)
         elif isinstance(payload, ColumnResponseMsg):
@@ -358,6 +375,24 @@ class WorkerActor:
             )
         row_ids = store.sides[msg.side]
         store.served[msg.side] += 1
+        if (
+            self.arena is not None
+            and int(row_ids.nbytes) >= self.shm_threshold_bytes
+        ):
+            # Zero-copy wire path: park the side in the arena once (every
+            # replica fetch of the same side reuses the slot) and ship
+            # only the descriptor.
+            ref = store.shm_refs.get(msg.side)
+            if ref is None:
+                ref = self.arena.write(row_ids)
+                store.shm_refs[msg.side] = ref
+            self._send(
+                msg.requester,
+                MSG_ROW_RESPONSE_SHM,
+                RowResponseShmMsg(tag=msg.tag, ref=ref),
+                self.cost.control_bytes,
+            )
+            return
         response = RowResponseMsg(tag=msg.tag, row_ids=row_ids)
         self._send(
             msg.requester,
@@ -388,6 +423,11 @@ class WorkerActor:
                 f"{store.served[msg.side]} fetches, master says {msg.count}"
             )
         self.machine.free(store.alloc_bytes[msg.side])
+        ref = store.shm_refs.pop(msg.side, None)
+        if ref is not None:
+            # All fetchers have consumed their copies by causality (their
+            # results already reached the master); the slot can recycle.
+            self.arena.free(ref)
         del store.sides[msg.side]
         store.resolved.add(msg.side)
         if not store.sides:
@@ -559,15 +599,29 @@ class WorkerActor:
     # shared row-response routing
     # ------------------------------------------------------------------
     def _on_row_response(self, msg: RowResponseMsg) -> None:
-        role, task = msg.tag
+        self._route_rows(msg.tag, msg.row_ids)
+
+    def _on_row_response_shm(self, msg: RowResponseShmMsg) -> None:
+        """Materialize a shared-memory row-id descriptor, then route it."""
+        if self.arena is None:
+            raise ProtocolError(
+                f"worker {self.worker_id} got an shm row response but has "
+                f"no arena (transport misconfiguration)"
+            )
+        if self._is_revoked(msg.tag[1]):
+            return
+        self._route_rows(msg.tag, self.arena.read(msg.ref))
+
+    def _route_rows(self, tag: tuple[str, TaskId], row_ids: np.ndarray) -> None:
+        role, task = tag
         if self._is_revoked(task):
             return
         if role == "column":
-            self._column_rows_ready(task, msg.row_ids)
+            self._column_rows_ready(task, row_ids)
         elif role == "key":
-            self._key_rows_ready(task, msg.row_ids)
+            self._key_rows_ready(task, row_ids)
         elif role == "serve":
-            self._serve_rows_ready(task, msg.row_ids)
+            self._serve_rows_ready(task, row_ids)
         else:
             raise ProtocolError(f"unknown row-response role {role!r}")
 
@@ -591,6 +645,9 @@ class WorkerActor:
         for task in [t for t in self._delegate if t[0] == uid]:
             store = self._delegate.pop(task)
             self.machine.free(sum(store.alloc_bytes[s] for s in store.sides))
+            for ref in store.shm_refs.values():
+                self.arena.free(ref)
+            store.shm_refs.clear()
 
     def _on_master_failover(self, msg: MasterFailoverMsg) -> None:
         """The secondary master took over: drop everything, redirect."""
@@ -608,9 +665,14 @@ class WorkerActor:
     # ------------------------------------------------------------------
     def outstanding_state(self) -> dict[str, int]:
         """Counts of live task objects (should be all zero after a run)."""
-        return {
+        state = {
             "column_tasks": len(self._column_tasks),
             "key_tasks": len(self._key_tasks),
             "serve_tasks": len(self._serve_tasks),
             "delegate_stores": len(self._delegate),
         }
+        if self.arena is not None:
+            # Parked row-id slices not yet freed — folded into the same
+            # end-of-run leak invariant the task objects are held to.
+            state["arena_slices"] = self.arena.live_slices
+        return state

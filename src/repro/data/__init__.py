@@ -9,15 +9,27 @@ from .schema import (
     SchemaBuilder,
     TableSchema,
 )
+from .shared import (
+    AttachedTable,
+    SharedArraySpec,
+    SharedTableHandle,
+    ShmArena,
+    ShmSlice,
+)
 from .table import MISSING_CODE, DataTable
 
 __all__ = [
+    "AttachedTable",
     "ColumnKind",
     "ColumnSpec",
     "DataTable",
     "MISSING_CODE",
     "ProblemKind",
     "SchemaBuilder",
+    "SharedArraySpec",
+    "SharedTableHandle",
+    "ShmArena",
+    "ShmSlice",
     "cleanse",
     "drop_sparse_columns",
     "fill_missing",

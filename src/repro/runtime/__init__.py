@@ -18,7 +18,7 @@ from .base import (
     WorkerDiedError,
     create_runtime,
 )
-from .process import ProcessRuntime, ProcessTransport
+from .process import ProcessRuntime, ProcessTransport, resolve_start_method
 from .signals import graceful_sigint, reap_children
 from .sim import SimRuntime, SimTransport
 
@@ -37,4 +37,5 @@ __all__ = [
     "create_runtime",
     "graceful_sigint",
     "reap_children",
+    "resolve_start_method",
 ]

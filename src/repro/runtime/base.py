@@ -51,7 +51,20 @@ class Transport(Protocol):
     def send(
         self, src: int, dst: int, kind: str, payload: Any, size_bytes: int
     ) -> None:
-        """Deliver ``payload`` from machine ``src`` to machine ``dst``."""
+        """Deliver ``payload`` from machine ``src`` to machine ``dst``.
+
+        Delivery may be deferred until :meth:`flush` — transports are
+        allowed to coalesce several sends into one physical handoff, as
+        long as per-sender FIFO order per destination is preserved.
+        """
+        ...  # pragma: no cover - protocol
+
+    def flush(self) -> None:
+        """Push out any coalesced-but-unsent messages (flush-on-idle).
+
+        Event loops call this before blocking on their inbox; transports
+        that deliver eagerly implement it as a no-op.
+        """
         ...  # pragma: no cover - protocol
 
     def close(self) -> None:
@@ -98,15 +111,31 @@ class RuntimeOptions:
     wedged; ``poll_interval_seconds`` is how often it additionally checks
     worker liveness while waiting.  ``start_method`` picks the
     ``multiprocessing`` context (``None`` = ``fork`` where available,
-    else the platform default).  ``crash_worker_after`` is a fault-injection
-    hook for tests: ``(worker_id, n_messages)`` hard-kills that worker
-    process after it handles ``n_messages`` messages.
+    else ``spawn`` — both are first-class; anything else the platform
+    offers can be named explicitly).  ``crash_worker_after`` is a
+    fault-injection hook for tests: ``(worker_id, n_messages)``
+    hard-kills that worker process after it handles ``n_messages``
+    messages.
+
+    Shared-memory data plane (``docs/RUNTIME.md``): ``use_shm`` places
+    the column table in ``multiprocessing.shared_memory`` segments that
+    workers map read-only instead of inheriting fork copies (and that
+    ``spawn`` workers would otherwise receive as pickles), and routes
+    row-id sets of at least ``shm_threshold_bytes`` through a pooled shm
+    arena as tiny descriptors instead of pickled arrays; smaller sets
+    stay inline.  ``coalesce_max_messages`` caps how many protocol
+    messages the transport may batch into one queue put before an
+    early flush (flushing otherwise happens whenever an event loop goes
+    idle); ``1`` disables coalescing.
     """
 
     message_timeout_seconds: float = 30.0
     poll_interval_seconds: float = 0.05
     start_method: str | None = None
     crash_worker_after: tuple[int, int] | None = None
+    use_shm: bool = True
+    shm_threshold_bytes: int = 8192
+    coalesce_max_messages: int = 32
 
 
 class Runtime(abc.ABC):

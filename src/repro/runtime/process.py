@@ -10,6 +10,22 @@ the parent process: it runs the unmodified
 child processes each owning their column shards and running the unmodified
 :class:`~repro.core.worker.WorkerActor`.
 
+The data plane is shared-memory first (``RuntimeOptions.use_shm``,
+default on — see ``docs/RUNTIME.md``):
+
+* the column table and ``Y`` live in named shm segments
+  (:class:`~repro.data.shared.SharedTableHandle`); workers map them as
+  read-only views instead of inheriting fork copies, which also makes
+  the ``spawn`` start method a first-class citizen — only a small handle
+  is pickled to each child;
+* large row-id sets (``I_xl`` / ``I_xr``) are parked in per-worker
+  pooled arenas (:class:`~repro.data.shared.ShmArena`) and cross the
+  queues as :class:`~repro.data.shared.ShmSlice` descriptors, with the
+  master still out of the relay path;
+* the :class:`QueueFabric` coalesces queued sends into one pickled blob
+  per destination, flushed whenever an event loop goes idle, cutting
+  per-message pickle + syscall overhead in message-dominated shapes.
+
 Failure semantics (the edges the simulator never has):
 
 * **worker death** — the driver polls child liveness whenever its inbox is
@@ -20,18 +36,23 @@ Failure semantics (the edges the simulator never has):
   ``RuntimeOptions.message_timeout_seconds`` raises
   :class:`~repro.runtime.base.MessageTimeoutError`;
 * **shutdown** — on success, error or KeyboardInterrupt alike, the pool is
-  drained and joined (terminate → join → kill escalation), so no orphaned
-  workers survive the run.
+  drained and joined (terminate → join → kill escalation) and every
+  shared-memory segment of the run is unlinked: workers unlink their own
+  arenas on clean exit, and the parent unlinks the table and sweeps any
+  segment a crashed worker left behind, so nothing leaks into
+  ``/dev/shm``.
 
 Parity: split arbitration is ``min (score, column)`` over exact per-column
 results and all randomness is derived from ``(tree seed, node path)``, so
 which worker computes what (timing-dependent, load-balanced) never affects
-the trained model — the forest is bit-identical to ``backend="sim"``.
+the trained model — the forest is bit-identical to ``backend="sim"``,
+with and without the shared-memory data plane.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import queue as queue_module
 import time
 import traceback
@@ -54,6 +75,13 @@ from ..core.tasks import (
     WorkerErrorMsg,
     WorkerStatsMsg,
 )
+from ..data.shared import (
+    SharedTableHandle,
+    ShmArena,
+    list_segments,
+    new_run_prefix,
+    unlink_segments,
+)
 from ..data.table import DataTable
 from .base import (
     MessageTimeoutError,
@@ -67,22 +95,91 @@ from .local import LocalCluster
 CRASH_EXITCODE = 71
 
 
+def resolve_start_method(requested: str | None) -> str:
+    """Pick the ``multiprocessing`` start method, explicitly.
+
+    ``fork`` is preferred where available (cheapest startup), ``spawn``
+    is the first-class fallback (viable because the shm data plane ships
+    handles, not tables).  An unavailable explicit request — or a
+    platform offering neither — raises a clear error instead of silently
+    deferring to whatever the platform default happens to be.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if requested is not None:
+        if requested not in available:
+            raise ValueError(
+                f"start method {requested!r} is not available on this "
+                f"platform (available: {available})"
+            )
+        return requested
+    for method in ("fork", "spawn"):
+        if method in available:
+            return method
+    raise RuntimeError(  # pragma: no cover - no known such platform
+        f"no supported multiprocessing start method (available: {available})"
+    )
+
+
+def _decode(obj: Any) -> list[Message]:
+    """Inbox object -> protocol messages.
+
+    The fabric ships pickled batches (``bytes``); a raw :class:`Message`
+    is also accepted — the worker-error escape hatch and tests inject
+    those directly.
+    """
+    if isinstance(obj, (bytes, bytearray)):
+        return pickle.loads(obj)
+    return [obj]
+
+
 class QueueFabric:
     """The shared send fabric: one inbox queue per machine id.
 
     Implements :class:`~repro.runtime.base.Transport` for whichever
-    process holds it; a single producer's puts into one queue stay FIFO,
-    which is all the protocol requires of message ordering.
+    process holds it.  Sends are buffered per destination and flushed as
+    one pickled blob per queue put — either when the buffer reaches
+    ``max_batch`` messages or when the owning event loop goes idle
+    (:meth:`flush`).  A single producer's blobs into one queue stay
+    FIFO, and each blob preserves append order, which together give the
+    per-sender FIFO the protocol requires.  Doing the pickling here (the
+    queue then only copies a ``bytes`` blob) also makes the serialized
+    byte count an exact, free metric.
     """
 
-    def __init__(self, queues: list) -> None:
+    def __init__(self, queues: list, max_batch: int = 32) -> None:
         self.queues = queues
+        self.max_batch = max(1, int(max_batch))
+        self._buffers: list[list[Message]] = [[] for _ in queues]
+        # -- data-plane counters (per hosting process) ------------------
+        self.messages_sent = 0
+        self.batches_sent = 0
+        self.coalesced_batches = 0
+        self.bytes_pickled = 0
 
     def send(
         self, src: int, dst: int, kind: str, payload: Any, size_bytes: int
     ) -> None:
-        """Enqueue one message into the destination's inbox."""
-        self.queues[dst].put(Message(src, dst, kind, payload, size_bytes))
+        """Buffer one message towards ``dst``; flush on a full batch."""
+        self._buffers[dst].append(Message(src, dst, kind, payload, size_bytes))
+        if len(self._buffers[dst]) >= self.max_batch:
+            self._flush_dst(dst)
+
+    def flush(self) -> None:
+        """Push every buffered message out (the flush-on-idle rule)."""
+        for dst in range(len(self.queues)):
+            if self._buffers[dst]:
+                self._flush_dst(dst)
+
+    def _flush_dst(self, dst: int) -> None:
+        batch = self._buffers[dst]
+        self._buffers[dst] = []
+        blob = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+        self.bytes_pickled += len(blob)
+        self.messages_sent += len(batch)
+        self.batches_sent += 1
+        if len(batch) > 1:
+            self.coalesced_batches += 1
+        self.queues[dst].put(blob)
 
     def close(self) -> None:
         """Close all queues without waiting for feeder flushes."""
@@ -94,38 +191,66 @@ class QueueFabric:
 def _worker_main(
     worker_id: int,
     n_workers: int,
-    table: DataTable,
+    table_ref: "DataTable | SharedTableHandle",
     held_columns: set[int],
     queues: list,
     cost: CostModel,
-    poll_seconds: float,
+    options_tuple: tuple,
     crash_after: int | None,
 ) -> None:
     """Entry point of one worker process: an event loop around the actor.
 
-    Runs until a :class:`ShutdownMsg` arrives (reply with run-end stats,
-    exit 0), the parent disappears (exit silently — we are orphaned), or
-    the actor raises (ship the traceback to the driver, exit 1).
-    ``crash_after`` hard-kills the process after that many handled
-    messages — the fault-injection hook behind the worker-death tests.
+    ``table_ref`` is either the table itself (inherited cheaply under
+    ``fork``, pickled under ``spawn``) or a :class:`SharedTableHandle` to
+    attach (shm data plane, either start method).  Runs until a
+    :class:`ShutdownMsg` arrives (reply with run-end stats, exit 0), the
+    parent disappears (exit silently — we are orphaned), or the actor
+    raises (ship the traceback to the driver, exit 1).  ``crash_after``
+    hard-kills the process after that many handled messages — the
+    fault-injection hook behind the worker-death tests.
     """
     from ..core.worker import WorkerActor  # import here: cheap under fork
 
-    fabric = QueueFabric(queues)
-    cluster = LocalCluster(n_workers, cost, fabric)
-    actor = WorkerActor(cluster, worker_id, table, held_columns)
-    machine = cluster.machines[worker_id]
-    inbox = queues[worker_id]
-    handled = 0
+    from collections import deque
+
+    (poll_seconds, shm_prefix, shm_threshold, coalesce_max) = options_tuple
+
+    attached = None
+    arena = None
+    actor = None
+    fabric = QueueFabric(queues, max_batch=coalesce_max)
     try:
+        if isinstance(table_ref, SharedTableHandle):
+            attached = table_ref.attach()
+            table = attached.table
+        else:
+            table = table_ref
+        if shm_prefix is not None:
+            arena = ShmArena(f"{shm_prefix}-w{worker_id}")
+        cluster = LocalCluster(n_workers, cost, fabric)
+        actor = WorkerActor(
+            cluster,
+            worker_id,
+            table,
+            held_columns,
+            arena=arena,
+            shm_threshold_bytes=shm_threshold,
+        )
+        machine = cluster.machines[worker_id]
+        inbox = queues[worker_id]
+        pending: deque[Message] = deque()
+        handled = 0
         while True:
-            try:
-                message = inbox.get(timeout=poll_seconds)
-            except queue_module.Empty:
-                parent = multiprocessing.parent_process()
-                if parent is not None and not parent.is_alive():
-                    return  # orphaned; nothing useful left to do
-                continue
+            if not pending:
+                fabric.flush()  # idle: everything buffered goes out now
+                try:
+                    pending.extend(_decode(inbox.get(timeout=poll_seconds)))
+                except queue_module.Empty:
+                    parent = multiprocessing.parent_process()
+                    if parent is not None and not parent.is_alive():
+                        return  # orphaned; nothing useful left to do
+                    continue
+            message = pending.popleft()
             if isinstance(message.payload, ShutdownMsg):
                 stats = WorkerStatsMsg(
                     worker=worker_id,
@@ -137,15 +262,21 @@ def _worker_main(
                     messages_sent=cluster.messages_sent,
                     ops_executed=machine.stats.ops_executed,
                     bytes_by_kind=dict(cluster.bytes_by_kind),
+                    bytes_pickled=fabric.bytes_pickled,
+                    shm_bytes_mapped=(
+                        (attached.nbytes if attached is not None else 0)
+                        + (arena.bytes_read if arena is not None else 0)
+                    ),
+                    coalesced_batches=fabric.coalesced_batches,
                 )
-                queues[0].put(
-                    Message(worker_id, 0, MSG_WORKER_STATS, stats, 0)
-                )
+                fabric.send(worker_id, 0, MSG_WORKER_STATS, stats, 0)
+                fabric.flush()
                 return  # normal exit flushes the queue feeder threads
             handled += 1
             actor.handle_message(message)
             if crash_after is not None and handled >= crash_after:
-                # Simulated hard crash: no goodbye, no feeder flush.
+                # Simulated hard crash: no goodbye, no feeder flush, no
+                # shm teardown — the parent's sweep covers the arena.
                 os._exit(CRASH_EXITCODE)
     except BaseException as exc:  # noqa: BLE001 - ship any failure home
         error = WorkerErrorMsg(
@@ -158,10 +289,20 @@ def _worker_main(
         except Exception:  # the fabric itself may be gone
             pass
         raise SystemExit(1)
+    finally:
+        # Release this process's shm footprint: drop array references
+        # first so the mmaps can actually unmap, then unlink what we own.
+        actor = None
+        cluster = None
+        table = None
+        if arena is not None:
+            arena.close()
+        if attached is not None:
+            attached.close()
 
 
 class ProcessTransport:
-    """Owns the queue fabric and the worker process pool."""
+    """Owns the queue fabric, the worker pool and the run's shm segments."""
 
     def __init__(
         self,
@@ -171,35 +312,58 @@ class ProcessTransport:
         cost: CostModel,
         options: RuntimeOptions,
     ) -> None:
-        method = options.start_method
-        if method is None:
-            methods = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in methods else None
+        method = resolve_start_method(options.start_method)
         self._ctx = multiprocessing.get_context(method)
+        self.start_method = method
         self.n_workers = n_workers
         self.queues = [self._ctx.Queue() for _ in range(n_workers + 1)]
-        self.fabric = QueueFabric(self.queues)
+        self.fabric = QueueFabric(
+            self.queues, max_batch=options.coalesce_max_messages
+        )
+        self._pending_master: list[Message] = []
         self.processes: dict[int, Any] = {}
-        crash = options.crash_worker_after
-        for wid in range(1, n_workers + 1):
-            held = {c for c, ws in placement.items() if wid in ws}
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(
-                    wid,
-                    n_workers,
-                    table,
-                    held,
-                    self.queues,
-                    cost,
-                    options.poll_interval_seconds,
-                    crash[1] if crash is not None and crash[0] == wid else None,
-                ),
-                name=f"repro-worker-{wid}",
-                daemon=True,
+        # -- shared-memory data plane ----------------------------------
+        self.shm_prefix: str | None = None
+        self.table_handle: SharedTableHandle | None = None
+        table_ref: DataTable | SharedTableHandle = table
+        if options.use_shm:
+            self.shm_prefix = new_run_prefix()
+            self.table_handle = SharedTableHandle.create(
+                table, f"{self.shm_prefix}-t"
             )
-            process.start()
-            self.processes[wid] = process
+            table_ref = self.table_handle
+        worker_options = (
+            options.poll_interval_seconds,
+            self.shm_prefix,
+            options.shm_threshold_bytes,
+            options.coalesce_max_messages,
+        )
+        crash = options.crash_worker_after
+        try:
+            for wid in range(1, n_workers + 1):
+                held = {c for c, ws in placement.items() if wid in ws}
+                process = self._ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        wid,
+                        n_workers,
+                        table_ref,
+                        held,
+                        self.queues,
+                        cost,
+                        worker_options,
+                        crash[1]
+                        if crash is not None and crash[0] == wid
+                        else None,
+                    ),
+                    name=f"repro-worker-{wid}",
+                    daemon=True,
+                )
+                process.start()
+                self.processes[wid] = process
+        except BaseException:
+            self.shutdown()
+            raise
 
     # -- driver-side sends / receives -----------------------------------
     def send(
@@ -208,9 +372,22 @@ class ProcessTransport:
         """Transport interface: parent-side send into any inbox."""
         self.fabric.send(src, dst, kind, payload, size_bytes)
 
+    def flush(self) -> None:
+        """Transport interface: push buffered parent-side sends out."""
+        self.fabric.flush()
+
     def recv_master(self, timeout: float) -> Message:
-        """Blocking receive from the master inbox (raises ``queue.Empty``)."""
-        return self.queues[0].get(timeout=timeout)
+        """Blocking receive from the master inbox (raises ``queue.Empty``).
+
+        Receiving means the driver is about to go idle, so buffered sends
+        are flushed first — the other half of the flush-on-idle rule.
+        """
+        self.fabric.flush()
+        if not self._pending_master:
+            self._pending_master.extend(
+                _decode(self.queues[0].get(timeout=timeout))
+            )
+        return self._pending_master.pop(0)
 
     # -- liveness -------------------------------------------------------
     def check_alive(self, allow_clean_exit: bool = False) -> None:
@@ -229,7 +406,12 @@ class ProcessTransport:
 
     # -- teardown -------------------------------------------------------
     def shutdown(self, join_timeout: float = 5.0) -> None:
-        """Drain and join the pool; escalate terminate → kill. Idempotent."""
+        """Drain and join the pool; escalate terminate → kill. Idempotent.
+
+        After the pool is gone, every shm segment of the run is removed:
+        the table handle is unlinked and the run prefix is swept, which
+        reclaims arena segments of workers that died without cleaning up.
+        """
         for process in self.processes.values():
             if process.is_alive():
                 process.terminate()
@@ -239,6 +421,11 @@ class ProcessTransport:
                 process.kill()
                 process.join(timeout=join_timeout)
         self.fabric.close()
+        if self.table_handle is not None:
+            self.table_handle.unlink()
+            self.table_handle = None
+        if self.shm_prefix is not None:
+            unlink_segments(list_segments(self.shm_prefix))
 
     def close(self) -> None:
         """Transport interface alias for :meth:`shutdown`."""
@@ -354,7 +541,7 @@ class ProcessRuntime(Runtime):
         return RunReport(
             sim_seconds=wall,
             cluster=self._cluster_report(
-                wall, cluster, stats, messages_handled
+                wall, cluster, stats, messages_handled, transport
             ),
             counters=master.counters,
             models=models,
@@ -369,6 +556,7 @@ class ProcessRuntime(Runtime):
         """Shutdown phase: every worker reports stats, then exits."""
         for wid in range(1, self.system.n_workers + 1):
             transport.send(0, wid, MSG_SHUTDOWN, ShutdownMsg(), 0)
+        transport.flush()
         stats: dict[int, WorkerStatsMsg] = {}
         deadline = time.monotonic() + self.options.message_timeout_seconds
         while len(stats) < self.system.n_workers:
@@ -431,6 +619,7 @@ class ProcessRuntime(Runtime):
         cluster: LocalCluster,
         stats: dict[int, WorkerStatsMsg],
         messages_handled: int,
+        transport: ProcessTransport,
     ) -> ClusterReport:
         """Paper-style summary from real-process counters.
 
@@ -489,4 +678,29 @@ class ProcessRuntime(Runtime):
         report.master_send_mbps = report.machines[0].send_mbps
         report.total_bytes = sum(m.bytes_sent for m in report.machines)
         report.bytes_by_kind = bytes_by_kind
+        # -- real data-plane accounting (what actually crossed queues) --
+        fabric = transport.fabric
+        per_worker = {
+            wid: {
+                "messages_sent": stats[wid].messages_sent,
+                "bytes_pickled": stats[wid].bytes_pickled,
+                "shm_bytes_mapped": stats[wid].shm_bytes_mapped,
+                "coalesced_batches": stats[wid].coalesced_batches,
+            }
+            for wid in sorted(stats)
+        }
+        report.transport = {
+            "shm": transport.shm_prefix is not None,
+            "start_method": transport.start_method,
+            "messages_sent": fabric.messages_sent
+            + sum(w["messages_sent"] for w in per_worker.values()),
+            "bytes_pickled": fabric.bytes_pickled
+            + sum(w["bytes_pickled"] for w in per_worker.values()),
+            "shm_bytes_mapped": sum(
+                w["shm_bytes_mapped"] for w in per_worker.values()
+            ),
+            "coalesced_batches": fabric.coalesced_batches
+            + sum(w["coalesced_batches"] for w in per_worker.values()),
+            "per_worker": per_worker,
+        }
         return report

@@ -39,6 +39,9 @@ class SimTransport:
         """Ride the simulated network (FIFO NIC + latency)."""
         self.cluster.send(src, dst, kind, payload, size_bytes)
 
+    def flush(self) -> None:
+        """Eager delivery: the simulated NIC never holds messages back."""
+
     def close(self) -> None:
         """Nothing to release: the event queue owns all state."""
 

@@ -19,8 +19,13 @@ from __future__ import annotations
 
 import io
 import multiprocessing
+import os
 import pickle
 import queue as queue_module
+import signal
+import subprocess
+import sys
+import textwrap
 import time
 
 import pytest
@@ -44,8 +49,23 @@ from repro.runtime import (
 )
 from repro.runtime.base import MessageTimeoutError, RuntimeBackendError
 
+#: CI runs this suite twice — REPRO_MP_SHM=1 and =0 — so the whole parity
+#: and robustness surface is exercised with and without the shared-memory
+#: data plane; locally the default (shm on) applies.
+SHM_DEFAULT = os.environ.get("REPRO_MP_SHM", "1").lower() not in (
+    "0", "off", "false",
+)
+
+
+def _options(**kw) -> RuntimeOptions:
+    kw.setdefault("message_timeout_seconds", 15.0)
+    kw.setdefault("poll_interval_seconds", 0.02)
+    kw.setdefault("use_shm", SHM_DEFAULT)
+    return RuntimeOptions(**kw)
+
+
 #: Tight-but-safe timeout: failure tests must finish fast, CI must not flake.
-FAST = RuntimeOptions(message_timeout_seconds=15.0, poll_interval_seconds=0.02)
+FAST = _options()
 
 
 def _table(name="higgs_boson"):
@@ -163,9 +183,8 @@ class TestFailures:
     def test_killed_worker_raises_structured_error(self):
         """A hard-killed worker surfaces as WorkerDiedError, not a hang."""
         table = _table()
-        options = RuntimeOptions(
+        options = _options(
             message_timeout_seconds=10.0,
-            poll_interval_seconds=0.02,
             crash_worker_after=(1, 2),  # worker 1 dies after 2 messages
         )
         server = TreeServer(
@@ -241,6 +260,160 @@ class TestFailures:
         error = MessageTimeoutError(2.5, "task results (1/4 trees done)")
         assert "2.5s" in str(error)
         assert "1/4 trees" in str(error)
+
+
+# ----------------------------------------------------------------------
+# shared-memory data plane
+# ----------------------------------------------------------------------
+def _fit_with(table, jobs, options, n_workers=3):
+    server = TreeServer(
+        _system(n_workers, table_rows=table.n_rows),
+        backend="mp",
+        runtime_options=options,
+    )
+    return server.fit(table, jobs)
+
+
+def _repro_segments():
+    from repro.data.shared import list_segments
+
+    return list_segments()
+
+
+class TestSharedMemoryDataPlane:
+    def test_parity_shm_on_and_off(self):
+        """One model, three substrates: sim, mp+shm, mp queues-only."""
+        table = _table("covtype")
+        jobs = [random_forest_job("rf", 3, TreeConfig(max_depth=6), seed=9)]
+        reference = _fit("sim", table, jobs).trees("rf")
+        for use_shm in (True, False):
+            got = _fit_with(table, jobs, _options(use_shm=use_shm)).trees("rf")
+            assert_bit_identical(reference, got)
+        assert _repro_segments() == []
+
+    def test_parity_under_spawn(self):
+        """spawn is first-class: handle-based startup, identical model."""
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method not available")
+        table = _table("covtype")
+        jobs = [random_forest_job("rf", 2, TreeConfig(max_depth=6), seed=3)]
+        reference = _fit("sim", table, jobs).trees("rf")
+        got = _fit_with(
+            table, jobs, _options(start_method="spawn"), n_workers=2
+        ).trees("rf")
+        assert_bit_identical(reference, got)
+        assert _repro_segments() == []
+
+    def test_invalid_start_method_is_a_clear_error(self):
+        from repro.runtime import resolve_start_method
+
+        with pytest.raises(ValueError, match="not available"):
+            resolve_start_method("bogus-method")
+        table = _table("covtype")
+        server = TreeServer(
+            _system(2, table_rows=table.n_rows),
+            backend="mp",
+            runtime_options=_options(start_method="bogus-method"),
+        )
+        with pytest.raises(ValueError, match="not available"):
+            server.fit(table, [decision_tree_job("dt", TreeConfig(max_depth=4))])
+        assert _repro_segments() == []
+
+    def test_transport_counters_reported(self):
+        """worker_stats carry the data-plane counters into the report."""
+        table = _table("covtype")
+        jobs = [random_forest_job("rf", 2, TreeConfig(max_depth=6), seed=1)]
+        report = _fit_with(table, jobs, _options(use_shm=True), n_workers=2)
+        transport = report.cluster.transport
+        assert transport["shm"] is True
+        assert transport["start_method"] in multiprocessing.get_all_start_methods()
+        assert transport["messages_sent"] > 0
+        assert transport["bytes_pickled"] > 0
+        assert transport["shm_bytes_mapped"] > 0  # the mapped table at least
+        assert set(transport["per_worker"]) == {1, 2}
+        for counters in transport["per_worker"].values():
+            assert counters["messages_sent"] > 0
+            assert counters["bytes_pickled"] > 0
+        off = _fit_with(table, jobs, _options(use_shm=False), n_workers=2)
+        assert off.cluster.transport["shm"] is False
+        assert off.cluster.transport["shm_bytes_mapped"] == 0
+
+    def test_no_segments_leaked_after_success(self):
+        table = _table("covtype")
+        _fit_with(
+            table,
+            [decision_tree_job("dt", TreeConfig(max_depth=6))],
+            _options(use_shm=True),
+        )
+        assert _repro_segments() == []
+
+    def test_no_segments_leaked_after_worker_death(self):
+        """The parent sweep reclaims what a hard-killed worker left behind."""
+        table = _table()
+        options = _options(
+            message_timeout_seconds=10.0,
+            use_shm=True,
+            crash_worker_after=(1, 2),
+        )
+        with pytest.raises(WorkerDiedError):
+            _fit_with(
+                table,
+                [random_forest_job("rf", 4, TreeConfig(max_depth=8))],
+                options,
+                n_workers=2,
+            )
+        assert _repro_segments() == []
+        assert multiprocessing.active_children() == []
+
+    def test_no_segments_leaked_after_sigint(self, tmp_path):
+        """Ctrl-C mid-run: the finally-path shutdown still sweeps /dev/shm."""
+        script = tmp_path / "train_forever.py"
+        script.write_text(textwrap.dedent("""
+            from repro import SystemConfig, TreeConfig, TreeServer
+            from repro import random_forest_job
+            from repro.datasets import dataset_spec, generate
+            from repro.runtime import RuntimeOptions
+
+            table = generate(dataset_spec("higgs_boson", small=True))
+            server = TreeServer(
+                SystemConfig(
+                    n_workers=2, compers_per_worker=2
+                ).scaled_to(table.n_rows),
+                backend="mp",
+                runtime_options=RuntimeOptions(use_shm=True),
+            )
+            print("STARTED", flush=True)
+            try:
+                server.fit(table, [
+                    random_forest_job(
+                        "rf", 500, TreeConfig(max_depth=10), seed=1
+                    ),
+                ])
+                print("COMPLETED", flush=True)
+            except KeyboardInterrupt:
+                print("INTERRUPTED", flush=True)
+        """))
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        process = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            assert process.stdout.readline().strip() == "STARTED"
+            time.sleep(0.75)  # let training get properly in flight
+            process.send_signal(signal.SIGINT)
+            output, _ = process.communicate(timeout=60.0)
+        finally:
+            if process.poll() is None:  # pragma: no cover - wedged child
+                process.kill()
+                process.communicate()
+        assert "INTERRUPTED" in output or "COMPLETED" in output, output
+        assert _repro_segments() == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,252 @@
+"""The shared-memory data plane's primitives: tables, arenas, lifecycle.
+
+``SharedTableHandle`` and ``ShmArena`` (``repro.data.shared``) carry the
+mp backend's zero-copy data plane, so their contracts are pinned directly:
+attach rebuilds bit-identical *read-only* views under any start method,
+descriptors stay tiny regardless of payload, arena slots recycle, and —
+above all — no ``/dev/shm`` segment outlives its owner.  Every test
+asserts the segments it created are gone afterwards; the suite-level
+guarantee (nothing leaked even on crash paths) is pinned in
+``tests/test_runtime_mp.py`` against the real runtime.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.shared import (
+    SHM_NAME_PREFIX,
+    SharedTableHandle,
+    ShmArena,
+    ShmSlice,
+    create_segment,
+    list_segments,
+    new_run_prefix,
+    unlink_segments,
+)
+from repro.datasets import dataset_spec, generate
+
+
+def _table(name="covtype"):
+    return generate(dataset_spec(name, small=True))
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Every test in this file must leave /dev/shm exactly as it found it."""
+    before = set(list_segments())
+    yield
+    leaked = sorted(set(list_segments()) - before)
+    assert not leaked, f"test leaked shared-memory segments: {leaked}"
+
+
+# ----------------------------------------------------------------------
+# shared table
+# ----------------------------------------------------------------------
+class TestSharedTableHandle:
+    def test_attach_rebuilds_identical_readonly_table(self):
+        table = _table()
+        handle = SharedTableHandle.create(table, new_run_prefix())
+        try:
+            attached = handle.attach()
+            try:
+                clone = attached.table
+                assert clone.n_rows == table.n_rows
+                assert clone.n_columns == table.n_columns
+                assert clone.schema == table.schema
+                np.testing.assert_array_equal(clone.target, table.target)
+                for mine, theirs in zip(table.columns, clone.columns):
+                    np.testing.assert_array_equal(mine, theirs)
+                    assert theirs.dtype == mine.dtype
+                    # The view is zero-copy and immutable — the protocol
+                    # treats the table as read-only for the whole run.
+                    assert not theirs.flags.writeable
+                    with pytest.raises((ValueError, RuntimeError)):
+                        theirs[0] = theirs[0]
+                assert attached.nbytes == handle.nbytes > 0
+            finally:
+                attached.close()
+        finally:
+            handle.unlink()
+
+    def test_segments_exist_only_between_create_and_unlink(self):
+        table = _table()
+        prefix = new_run_prefix()
+        handle = SharedTableHandle.create(table, prefix)
+        names = handle.segment_names()
+        assert len(names) == table.n_columns + 1  # columns + target
+        assert list_segments(prefix) == sorted(names)
+        handle.unlink()
+        assert list_segments(prefix) == []
+        handle.unlink()  # idempotent
+
+    def test_pickled_handle_is_metadata_only(self):
+        """The handle ships to workers by value; ownership must not."""
+        table = _table()
+        handle = SharedTableHandle.create(table, new_run_prefix())
+        try:
+            clone = pickle.loads(pickle.dumps(handle))
+            assert clone.segment_names() == handle.segment_names()
+            assert clone.nbytes == handle.nbytes
+            assert len(pickle.dumps(handle)) < 8192  # no array payloads
+            # An attacher calling unlink by mistake must be a no-op: the
+            # segments stay alive for the real owner.
+            clone.unlink()
+            assert list_segments(handle.segment_names()[0]) != []
+            attached = clone.attach()
+            np.testing.assert_array_equal(attached.table.target, table.target)
+            attached.close()
+        finally:
+            handle.unlink()
+
+    def test_attach_under_spawn(self):
+        """A spawn child (inheriting nothing) attaches purely by name."""
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method not available")
+        table = _table()
+        handle = SharedTableHandle.create(table, new_run_prefix())
+        try:
+            ctx = multiprocessing.get_context("spawn")
+            queue = ctx.Queue()
+            process = ctx.Process(
+                target=_spawn_child_checksums, args=(handle, queue)
+            )
+            process.start()
+            sums = queue.get(timeout=60.0)
+            process.join(timeout=60.0)
+            assert process.exitcode == 0
+            expected = [float(np.nansum(c)) for c in table.columns] + [
+                float(np.nansum(table.target))
+            ]
+            assert sums == pytest.approx(expected)
+        finally:
+            handle.unlink()
+
+
+def _spawn_child_checksums(handle, queue) -> None:
+    """Spawn target: attach the shared table and report per-array sums."""
+    attached = handle.attach()
+    try:
+        table = attached.table
+        sums = [float(np.nansum(c)) for c in table.columns] + [
+            float(np.nansum(table.target))
+        ]
+        queue.put(sums)
+    finally:
+        attached.close()
+
+
+# ----------------------------------------------------------------------
+# row-id arena
+# ----------------------------------------------------------------------
+class TestShmArena:
+    def test_write_read_round_trip_and_tiny_descriptor(self):
+        arena = ShmArena(new_run_prefix())
+        try:
+            rows = np.arange(100_000, dtype=np.int64) * 3
+            ref = arena.write(rows)
+            # The wire cost is the descriptor, not the payload.
+            assert isinstance(ref, ShmSlice)
+            assert ref.nbytes == rows.nbytes
+            assert len(pickle.dumps(ref)) < 200
+            out = arena.read(ref)
+            np.testing.assert_array_equal(out, rows)
+            assert out.dtype == rows.dtype
+            # read returns a private copy: mutating it cannot corrupt the
+            # arena, and the owner may recycle the slot underneath it.
+            out[0] = -1
+            np.testing.assert_array_equal(arena.read(ref), rows)
+            arena.free(ref)
+        finally:
+            arena.close()
+
+    def test_slots_recycle_after_free(self):
+        arena = ShmArena(new_run_prefix(), segment_bytes=1 << 16)
+        try:
+            a = arena.write(np.arange(64, dtype=np.int64))
+            b = arena.write(np.arange(64, dtype=np.int64))
+            assert a.segment == b.segment and b.offset > a.offset
+            assert arena.live_slices == 2
+            arena.free(a)
+            arena.free(b)
+            assert arena.live_slices == 0
+            # Fully-freed segment rewinds: the next write reuses offset 0
+            # of the same segment instead of growing the pool.
+            c = arena.write(np.arange(64, dtype=np.int64))
+            assert (c.segment, c.offset) == (a.segment, a.offset)
+            arena.free(c)
+            assert list_segments(arena.prefix) == [a.segment]
+        finally:
+            arena.close()
+
+    def test_oversized_payload_gets_dedicated_segment(self):
+        arena = ShmArena(new_run_prefix(), segment_bytes=4096)
+        try:
+            small = arena.write(np.arange(8, dtype=np.int64))
+            big = np.arange(10_000, dtype=np.int64)  # 80 KB > 4 KB pool
+            ref = arena.write(big)
+            assert ref.segment != small.segment
+            np.testing.assert_array_equal(arena.read(ref), big)
+            arena.free(small)
+            arena.free(ref)
+        finally:
+            arena.close()
+
+    def test_cross_process_shape_reader_attaches_by_name(self):
+        """Reading another arena's slice works purely from the descriptor."""
+        writer = ShmArena(new_run_prefix())
+        reader = ShmArena(new_run_prefix())
+        try:
+            rows = np.arange(5000, dtype=np.int64) + 7
+            ref = pickle.loads(pickle.dumps(writer.write(rows)))
+            np.testing.assert_array_equal(reader.read(ref), rows)
+            assert reader.bytes_read == rows.nbytes
+            writer.free(ref)
+        finally:
+            reader.close()
+            writer.close()
+
+    def test_misuse_is_loud(self):
+        arena = ShmArena(new_run_prefix())
+        other = ShmArena(new_run_prefix())
+        try:
+            ref = arena.write(np.arange(4, dtype=np.int64))
+            with pytest.raises(ValueError, match="does not belong"):
+                other.free(ref)
+            arena.free(ref)
+            with pytest.raises(RuntimeError, match="double free"):
+                arena.free(ref)
+        finally:
+            other.close()
+            arena.close()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        arena = ShmArena(new_run_prefix())
+        arena.write(np.arange(16, dtype=np.int64))
+        assert list_segments(arena.prefix) != []
+        arena.close()
+        assert list_segments(arena.prefix) == []
+        arena.close()
+
+
+# ----------------------------------------------------------------------
+# crash sweep
+# ----------------------------------------------------------------------
+class TestSweep:
+    def test_unlink_segments_reclaims_by_name(self):
+        """The parent's post-crash sweep: reclaim segments by listing."""
+        prefix = new_run_prefix()
+        orphans = [create_segment(f"{prefix}-s{i}", 4096) for i in range(3)]
+        for segment in orphans:
+            segment.close()  # owner "died": mapping gone, file left behind
+        names = list_segments(prefix)
+        assert len(names) == 3
+        assert all(name.startswith(SHM_NAME_PREFIX) for name in names)
+        removed = unlink_segments(names)
+        assert removed == names
+        assert list_segments(prefix) == []
+        assert unlink_segments(names) == []  # idempotent on gone names

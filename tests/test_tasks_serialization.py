@@ -26,6 +26,7 @@ from repro.core.config import TreeConfig, TreeKind
 from repro.core.splits import CandidateSplit
 from repro.core.tasks import MESSAGE_DATACLASSES
 from repro.data.schema import ColumnKind, ProblemKind
+from repro.data.shared import ShmSlice
 
 
 def deep_equal(a, b) -> bool:
@@ -113,6 +114,12 @@ MESSAGE_FACTORIES: dict[type, object] = {
         tag=("key", (7, 3)),
         row_ids=np.array([5, 9, 11, 200_000_000_000], dtype=np.int64),
     ),
+    tasks.RowResponseShmMsg: tasks.RowResponseShmMsg(
+        tag=("column", (7, 3)),
+        ref=ShmSlice(
+            segment="repro-shm-cafe01-w2-s0", offset=4096, count=700
+        ),
+    ),
     tasks.ColumnRequestMsg: tasks.ColumnRequestMsg(
         task=(7, 3), columns=(2, 5), parent=None, ctx=CTX, key_worker=1
     ),
@@ -150,6 +157,9 @@ MESSAGE_FACTORIES: dict[type, object] = {
         messages_sent=21,
         ops_executed=1e6,
         bytes_by_kind={"column_result": 2048},
+        bytes_pickled=1 << 16,
+        shm_bytes_mapped=3 << 20,
+        coalesced_batches=9,
     ),
     tasks.WorkerErrorMsg: tasks.WorkerErrorMsg(
         worker=2, error="ValueError: boom", traceback="Traceback ..."
@@ -169,6 +179,9 @@ SUPPORT_FACTORIES: dict[type, object] = {
     ),
     tasks.TaskCounters: tasks.TaskCounters(
         column_tasks=3, extra={"extra_retries": 2}
+    ),
+    ShmSlice: ShmSlice(
+        segment="repro-shm-cafe01-w1-s3", offset=0, count=1, dtype="int64"
     ),
 }
 
