@@ -44,7 +44,13 @@ from .data.table import DataTable
 from .datasets.registry import dataset_names, dataset_spec
 from .datasets.synthetic import generate
 from .evaluation.metrics import accuracy, rmse
-from .runtime import RuntimeOptions, graceful_sigint, reap_children
+from .runtime import (
+    FAULT_POLICIES,
+    RuntimeOptions,
+    WorkerDiedError,
+    graceful_sigint,
+    reap_children,
+)
 from .serving.registry import load_compiled_local
 from .serving.server import PredictionServer, QueueFullError, ServerConfig
 
@@ -88,6 +94,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mp backend: shared-memory data plane — column table in shm "
         "segments, large row-id sets shipped as descriptors "
         "(default: on; --no-shm pickles everything through the queues)",
+    )
+    train.add_argument(
+        "--fault-policy", choices=FAULT_POLICIES, default=None,
+        help="worker-crash handling: fail_fast (structured error; mp "
+        "default) or recover (reassign the dead worker's columns to "
+        "surviving replicas and retrain affected trees; sim default)",
+    )
+    train.add_argument(
+        "--max-worker-failures", type=int, default=1, metavar="N",
+        help="fault-policy recover: give up after N worker crashes "
+        "(default: 1)",
     )
 
     predict = sub.add_parser("predict", help="apply a saved model to a CSV")
@@ -175,13 +192,34 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
         n_workers=args.workers, compers_per_worker=args.compers
     ).scaled_to(table.n_rows)
     options = RuntimeOptions(
-        message_timeout_seconds=args.mp_timeout, use_shm=args.shm
+        message_timeout_seconds=args.mp_timeout,
+        use_shm=args.shm,
+        fault_policy=args.fault_policy,
+        max_worker_failures=args.max_worker_failures,
     )
     server = TreeServer(
         system, backend=args.backend, runtime_options=options
     )
-    with graceful_sigint():
-        report = server.fit(table, [job])
+    try:
+        with graceful_sigint():
+            report = server.fit(table, [job])
+    except WorkerDiedError as error:
+        policy = options.resolved_fault_policy(args.backend)
+        exitcode = (
+            error.exitcode if error.exitcode is not None else "unknown"
+        )
+        hint = (
+            "raise --max-worker-failures, add workers, or increase "
+            "column replication"
+            if policy == "recover"
+            else "rerun with --fault-policy recover to retrain on survivors"
+        )
+        print(
+            f"error: worker {error.worker_id} died (exitcode={exitcode}, "
+            f"fault-policy={policy}); {hint}",
+            file=sys.stderr,
+        )
+        return 1
     trees = report.trees("model")
     save_model_local(args.model_dir, "model", trees)
     if report.backend == "mp":
@@ -211,6 +249,14 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
             f"coalesced-batches={transport['coalesced_batches']}",
             file=out,
         )
+        if transport.get("recovered_workers"):
+            print(
+                f"fault recovery: policy={transport['fault_policy']} "
+                f"recovered-workers={transport['recovered_workers']} "
+                f"revoked-trees={transport['revoked_trees']} "
+                f"stale-shm-drops={transport['stale_shm_drops']}",
+                file=out,
+            )
     print(f"model saved to {args.model_dir}", file=out)
     return 0
 

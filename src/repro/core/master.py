@@ -18,7 +18,11 @@ Fault recovery restarts affected trees wholesale (a documented
 simplification of Appendix E's per-task revocation; see DESIGN.md): on a
 worker crash the master drops the dead machine from every column's holder
 list (column replicas make this safe for ``k >= 2``), broadcasts a tree
-revocation, and re-admits the affected trees under fresh uids.
+revocation, and re-admits the affected trees under fresh uids.  A tree is
+*affected* only if the dead worker was involved in one of its in-flight
+tasks (as an assigned worker, delegate, key worker, column server, or the
+parent-store holder of a task or queued plan) — trees the dead worker
+never touched keep running undisturbed.
 """
 
 from __future__ import annotations
@@ -118,6 +122,7 @@ class _MasterTaskState:
     # subtree-task fields:
     key_worker: int | None = None
     n_servers: int = 0
+    servers: frozenset[int] = frozenset()
 
 
 class MasterActor:
@@ -299,6 +304,7 @@ class MasterActor:
             is_subtree=True,
             key_worker=assignment.key_worker,
             n_servers=len(assignment.server_map),
+            servers=frozenset(assignment.server_map),
         )
         self.ttask[entry.task] = state
         plan = SubtreePlanMsg(
@@ -639,12 +645,46 @@ class MasterActor:
                     f"column {col} lost all replicas (k too small for the "
                     f"crash pattern)"
                 )
-        affected = list(self.builds.values())
-        for build in affected:
-            self._restart_tree(build)
+        for uid in self._affected_tree_uids(worker):
+            self._restart_tree(self.builds[uid])
+        self.counters.recovered_workers += 1
         # Drop the dead row only after the revoked tasks' charges were
         # reverted, so the matrix balances back to zero.
         self.matrix.drop_worker(worker)
+
+    def _task_involves(self, state: _MasterTaskState, worker: int) -> bool:
+        """Whether an in-flight task touched ``worker`` in any role."""
+        if worker in state.expected_workers or worker == state.delegate:
+            return True
+        if worker == state.key_worker or worker in state.servers:
+            return True
+        parent = state.entry.parent
+        if parent is not None and parent.worker == worker:
+            return True
+        # Charge sheet: extra-tree retries accumulate charges from earlier
+        # fan-outs whose workers may no longer appear in expected_workers;
+        # reverting such a sheet after drop_worker would unbalance M_work.
+        return any(w == worker for w, _, _ in state.charge.entries)
+
+    def _affected_tree_uids(self, worker: int) -> list[int]:
+        """Trees the dead worker was involved in — and only those.
+
+        Involvement means a live ``T_task`` entry references the worker
+        (assigned, delegate, key, server, parent-store holder, or charged),
+        or a queued ``B_plan`` entry's parent row store (``I_xl``/``I_xr``)
+        lives on it.  Every delegate store the dead worker held is reachable
+        through one of these references, so trees outside this set lost no
+        state and need not be revoked.
+        """
+        affected = {
+            task[0]
+            for task, state in self.ttask.items()
+            if self._task_involves(state, worker)
+        }
+        for entry in self.bplan.entries():
+            if entry.parent is not None and entry.parent.worker == worker:
+                affected.add(entry.tree_uid)
+        return sorted(affected)
 
     def _restart_tree(self, build: _TreeBuild) -> None:
         """Revoke a tree and re-admit it under a fresh uid."""

@@ -66,6 +66,10 @@ class PlanDeque:
             return None
         return self._deque.popleft()
 
+    def entries(self) -> tuple[PlanEntry, ...]:
+        """Snapshot of the queued plans, head first (fault-recovery scan)."""
+        return tuple(self._deque)
+
     def remove_tree(self, tree_uid: int) -> int:
         """Drop every queued plan of a tree (fault recovery); returns count."""
         kept = [e for e in self._deque if e.tree_uid != tree_uid]

@@ -53,7 +53,11 @@ class SecondaryMasterActor:
         self.info = table_info
         self.jobs = jobs
         self.system = system
-        self.holders = holders
+        # Deep-copy the placement: the primary mutates its own holder
+        # lists on worker crashes (`holders[c].remove(worker)`), and an
+        # aliased view would double-apply those removals — the standby
+        # re-derives liveness itself at failover time.
+        self.holders = {c: list(ws) for c, ws in holders.items()}
         self.completed: dict[str, dict[int, DecisionTree]] = {}
         self.promoted: MasterActor | None = None
 

@@ -92,7 +92,8 @@ class TreeServer:
     ``backend`` selects the execution substrate: ``"sim"`` (default, the
     discrete-event simulator) or ``"mp"`` (real worker processes).
     ``runtime_options`` tunes the mp backend's timeouts and process
-    start method; it is ignored by the simulator.
+    start method, and the fault policy on either backend (the simulator
+    ignores the mp-only knobs).
     """
 
     def __init__(

@@ -324,9 +324,10 @@ class TaskDeleteMsg:
 class RevokeTreeMsg:
     """Master -> all workers: drop every state object of this tree.
 
-    Used by fault recovery: after a worker crash the master restarts the
-    affected trees from scratch (see DESIGN.md on this simplification of
-    Appendix E's per-task revocation).
+    Used by fault recovery: after a worker crash the master restarts
+    from scratch exactly the trees whose in-flight tasks or queued plans
+    involved the dead worker (see DESIGN.md on this simplification of
+    Appendix E's per-task revocation); unaffected trees keep running.
     """
 
     tree_uid: int
@@ -363,6 +364,8 @@ class TaskCounters:
     head_insertions: int = 0
     tail_insertions: int = 0
     revoked_trees: int = 0
+    #: Worker crashes survived via replica reassignment + tree revocation.
+    recovered_workers: int = 0
     bplan_peak: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
@@ -435,6 +438,12 @@ class WorkerStatsMsg:
     shm_bytes_mapped: int = 0
     #: Queue puts that carried more than one coalesced message.
     coalesced_batches: int = 0
+    # -- crash-recovery counters (mp backend fault recovery) -----------
+    #: ``revoke_tree`` broadcasts this worker processed.
+    revoked_trees_seen: int = 0
+    #: ``row_response_shm`` descriptors dropped because the owning
+    #: (crashed) worker's arena segment was already swept.
+    stale_shm_drops: int = 0
 
 
 @dataclass

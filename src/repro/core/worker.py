@@ -155,6 +155,9 @@ class WorkerActor:
         #: Messages referencing trees below this uid belong to a dead
         #: master generation and are ignored (secondary-master failover).
         self._min_live_uid = 0
+        # -- crash-recovery counters (reported in worker_stats) ---------
+        self.revoked_trees_seen = 0
+        self.stale_shm_drops = 0
         # Resident memory: held columns + the replicated Y column.
         base = sum(table.column(c).nbytes for c in self.held_columns)
         self.machine.set_base_memory(base + table.target.nbytes)
@@ -610,7 +613,17 @@ class WorkerActor:
             )
         if self._is_revoked(msg.tag[1]):
             return
-        self._route_rows(msg.tag, self.arena.read(msg.ref))
+        try:
+            row_ids = self.arena.read(msg.ref)
+        except FileNotFoundError:
+            # The owning worker died and the driver swept its arena before
+            # the master's revoke_tree reached us.  A vanished segment
+            # proves the sender is dead, so the tagged tree is being
+            # revoked — drop the response; the revocation cleans up the
+            # waiting task state.
+            self.stale_shm_drops += 1
+            return
+        self._route_rows(msg.tag, row_ids)
 
     def _route_rows(self, tag: tuple[str, TaskId], row_ids: np.ndarray) -> None:
         role, task = tag
@@ -631,6 +644,7 @@ class WorkerActor:
     def _on_revoke_tree(self, msg: RevokeTreeMsg) -> None:
         """Drop all state of a revoked tree, releasing its memory."""
         uid = msg.tree_uid
+        self.revoked_trees_seen += 1
         self._revoked_trees.add(uid)
         for task in [t for t in self._column_tasks if t[0] == uid]:
             state = self._column_tasks.pop(task)

@@ -10,6 +10,7 @@ or ``repro train --backend``; both train bit-identical models.  See
 
 from .base import (
     BACKENDS,
+    FAULT_POLICIES,
     MessageTimeoutError,
     Runtime,
     RuntimeBackendError,
@@ -24,6 +25,7 @@ from .sim import SimRuntime, SimTransport
 
 __all__ = [
     "BACKENDS",
+    "FAULT_POLICIES",
     "MessageTimeoutError",
     "ProcessRuntime",
     "ProcessTransport",

@@ -35,6 +35,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: Names accepted by ``TreeServer(..., backend=...)`` / ``repro train --backend``.
 BACKENDS = ("sim", "mp")
 
+#: Accepted ``RuntimeOptions.fault_policy`` values.  ``fail_fast`` turns a
+#: worker crash into a :class:`WorkerDiedError`; ``recover`` feeds it into
+#: the master's replica-reassignment + tree-revocation path and keeps
+#: training on the survivors.
+FAULT_POLICIES = ("fail_fast", "recover")
+
 
 @runtime_checkable
 class Transport(Protocol):
@@ -104,7 +110,11 @@ class MessageTimeoutError(RuntimeBackendError):
 
 @dataclass(frozen=True)
 class RuntimeOptions:
-    """Knobs of the multiprocess backend (ignored by the simulator).
+    """Knobs of the runtime backends.
+
+    Most fields concern only the multiprocess backend; the simulator
+    honours ``fault_policy`` (its injected ``crash_plans`` respect the
+    same fail-fast vs recover choice) and ignores the rest.
 
     ``message_timeout_seconds`` bounds the silence the master-side driver
     tolerates between protocol messages before declaring the transport
@@ -127,6 +137,17 @@ class RuntimeOptions:
     messages the transport may batch into one queue put before an
     early flush (flushing otherwise happens whenever an event loop goes
     idle); ``1`` disables coalescing.
+
+    Fault policy: ``fault_policy`` is ``"fail_fast"`` (a worker crash
+    raises :class:`WorkerDiedError`), ``"recover"`` (the master reassigns
+    the dead worker's columns to surviving replica holders, revokes the
+    trees it was involved in, and retrains them on the survivors), or
+    ``None`` to take the backend default — ``recover`` on the simulator
+    (crash plans are explicit fault experiments), ``fail_fast`` on the
+    multiprocess backend (a real crash is surfaced unless recovery was
+    asked for).  ``max_worker_failures`` caps how many crashes a
+    recovering run absorbs before giving up; recovery also requires every
+    column of the dead worker to retain a live replica (``k >= 2``).
     """
 
     message_timeout_seconds: float = 30.0
@@ -136,6 +157,23 @@ class RuntimeOptions:
     use_shm: bool = True
     shm_threshold_bytes: int = 8192
     coalesce_max_messages: int = 32
+    fault_policy: str | None = None
+    max_worker_failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fault_policy is not None and self.fault_policy not in FAULT_POLICIES:
+            raise ValueError(
+                f"unknown fault_policy {self.fault_policy!r}; expected one "
+                f"of {FAULT_POLICIES} (or None for the backend default)"
+            )
+        if self.max_worker_failures < 0:
+            raise ValueError("max_worker_failures must be >= 0")
+
+    def resolved_fault_policy(self, backend: str) -> str:
+        """The effective policy for a backend (``None`` -> its default)."""
+        if self.fault_policy is not None:
+            return self.fault_policy
+        return "recover" if backend == "sim" else "fail_fast"
 
 
 class Runtime(abc.ABC):
@@ -179,7 +217,7 @@ def create_runtime(
     if backend == "sim":
         from .sim import SimRuntime
 
-        return SimRuntime(system, cost)
+        return SimRuntime(system, cost, options or RuntimeOptions())
     if backend == "mp":
         from .process import ProcessRuntime
 

@@ -29,9 +29,23 @@ default on — see ``docs/RUNTIME.md``):
 Failure semantics (the edges the simulator never has):
 
 * **worker death** — the driver polls child liveness whenever its inbox is
-  quiet; a dead process (and a worker-side exception, which ships its
-  traceback home first) surfaces as a structured
-  :class:`~repro.runtime.base.WorkerDiedError`, never a hang;
+  quiet.  Under ``fault_policy="fail_fast"`` (the mp default) a dead
+  process (and a worker-side exception, which ships its traceback home
+  first) surfaces as a structured
+  :class:`~repro.runtime.base.WorkerDiedError`, never a hang.  Under
+  ``fault_policy="recover"`` the driver instead feeds
+  ``MasterActor.on_worker_crashed`` — the same replica-reassignment +
+  tree-revocation path the simulator exercises — then reaps the dead
+  process, drains its now-ownerless inbox, and sweeps its shm arena
+  segments so mid-run ``I_x`` slices are not leaked.  Stragglers the dead
+  worker produced (or peers produced towards it) are fenced by the
+  revoked-uid checks both actors already apply; a peer holding a shm
+  descriptor into the swept arena drops it on ``FileNotFoundError``
+  (counted as ``stale_shm_drops``) because a vanished segment proves the
+  owner died and the tagged tree is being revoked.  Recovery requires
+  every column of the dead worker to retain a live replica (``k >= 2``)
+  and gives up past ``max_worker_failures`` crashes — both degrade to
+  the structured ``WorkerDiedError``, never a hang;
 * **wedged transport** — silence longer than
   ``RuntimeOptions.message_timeout_seconds`` raises
   :class:`~repro.runtime.base.MessageTimeoutError`;
@@ -51,6 +65,7 @@ with and without the shared-memory data plane.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import queue as queue_module
@@ -93,6 +108,29 @@ from .local import LocalCluster
 
 #: Exit code of the fault-injection hook (distinguishable from crashes).
 CRASH_EXITCODE = 71
+
+#: Environment fault-injection hook: ``REPRO_MP_KILL=worker:after_n_messages``
+#: hard-kills that worker after it handles that many messages, exactly like
+#: ``RuntimeOptions.crash_worker_after`` (which takes precedence when set).
+KILL_ENV = "REPRO_MP_KILL"
+
+
+def parse_kill_spec(spec: str) -> tuple[int, int]:
+    """Parse the :data:`KILL_ENV` spec ``worker:after_n_messages``."""
+    try:
+        worker_text, after_text = spec.split(":")
+        worker, after = int(worker_text), int(after_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid {KILL_ENV} spec {spec!r}; expected "
+            f"'worker:after_n_messages', e.g. '2:20'"
+        ) from None
+    if worker < 1 or after < 1:
+        raise ValueError(
+            f"invalid {KILL_ENV} spec {spec!r}: worker id and message "
+            f"count must both be >= 1"
+        )
+    return worker, after
 
 
 def resolve_start_method(requested: str | None) -> str:
@@ -268,6 +306,8 @@ def _worker_main(
                         + (arena.bytes_read if arena is not None else 0)
                     ),
                     coalesced_batches=fabric.coalesced_batches,
+                    revoked_trees_seen=actor.revoked_trees_seen,
+                    stale_shm_drops=actor.stale_shm_drops,
                 )
                 fabric.send(worker_id, 0, MSG_WORKER_STATS, stats, 0)
                 fabric.flush()
@@ -275,8 +315,21 @@ def _worker_main(
             handled += 1
             actor.handle_message(message)
             if crash_after is not None and handled >= crash_after:
-                # Simulated hard crash: no goodbye, no feeder flush, no
-                # shm teardown — the parent's sweep covers the arena.
+                # Simulated hard crash: no goodbye, no shm teardown — the
+                # parent's sweep covers the arena.  The queue feeders are
+                # drained first because ``multiprocessing`` queues share
+                # their write lock and byte stream across processes:
+                # ``os._exit`` mid-write would leave a truncated frame (a
+                # peer's ``recv_bytes`` blocks forever) or a held write
+                # lock (every other sender blocks) — corruption a real
+                # network transport cannot inflict on surviving peers.
+                # The injected crash is abrupt at the *protocol* layer
+                # (sends of the last handled message are still buffered
+                # in the fabric and die with us) but clean at the
+                # *transport* layer.
+                for crash_queue in queues:
+                    crash_queue.close()
+                    crash_queue.join_thread()
                 os._exit(CRASH_EXITCODE)
     except BaseException as exc:  # noqa: BLE001 - ship any failure home
         error = WorkerErrorMsg(
@@ -390,19 +443,52 @@ class ProcessTransport:
         return self._pending_master.pop(0)
 
     # -- liveness -------------------------------------------------------
-    def check_alive(self, allow_clean_exit: bool = False) -> None:
-        """Raise :class:`WorkerDiedError` if any worker process is gone.
+    def dead_workers(
+        self, allow_clean_exit: bool = False
+    ) -> list[tuple[int, int]]:
+        """Worker ids (with exit codes) whose processes have exited.
 
         ``allow_clean_exit`` tolerates exit code 0 (the shutdown phase,
         where workers legitimately finish after reporting their stats).
+        Already-reaped workers (see :meth:`reap_worker`) are not listed.
         """
+        dead = []
         for wid, process in self.processes.items():
             code = process.exitcode
             if code is None:
                 continue
             if allow_clean_exit and code == 0:
                 continue
-            raise WorkerDiedError(wid, code)
+            dead.append((wid, code))
+        return dead
+
+    def check_alive(self, allow_clean_exit: bool = False) -> None:
+        """Raise :class:`WorkerDiedError` if any worker process is gone."""
+        dead = self.dead_workers(allow_clean_exit)
+        if dead:
+            raise WorkerDiedError(*dead[0])
+
+    def reap_worker(self, worker_id: int) -> None:
+        """Retire a crashed worker the run is recovering from.
+
+        Joins the process, drains its now-ownerless inbox (anything
+        queued there is a fenced straggler nobody will ever read), and
+        sweeps its shm arena segments immediately — recovery must not
+        leak the dead worker's parked ``I_x`` slices for the rest of a
+        long run.  Any live peer still holding a descriptor into the
+        swept arena tolerates the vanished segment (see
+        ``WorkerActor._on_row_response_shm``).
+        """
+        process = self.processes.pop(worker_id, None)
+        if process is not None:
+            process.join(timeout=1.0)
+        try:
+            while True:
+                self.queues[worker_id].get_nowait()
+        except queue_module.Empty:
+            pass
+        if self.shm_prefix is not None:
+            unlink_segments(list_segments(f"{self.shm_prefix}-w{worker_id}"))
 
     # -- teardown -------------------------------------------------------
     def shutdown(self, join_timeout: float = 5.0) -> None:
@@ -445,6 +531,8 @@ class ProcessRuntime(Runtime):
     ) -> None:
         super().__init__(system, cost)
         self.options = options or RuntimeOptions()
+        self._fault_policy = self.options.resolved_fault_policy(self.name)
+        self._failures = 0
 
     def fit(self, table: DataTable, jobs: list[TrainingJob], **kwargs: Any):
         """Run the full protocol over real processes; see ``TreeServer.fit``."""
@@ -459,6 +547,13 @@ class ProcessRuntime(Runtime):
                     f"{feature} is only supported on the sim backend"
                 )
         self.validate(table, jobs)
+        kill_spec = os.environ.get(KILL_ENV)
+        if kill_spec and self.options.crash_worker_after is None:
+            self.options = dataclasses.replace(
+                self.options, crash_worker_after=parse_kill_spec(kill_spec)
+            )
+        self._fault_policy = self.options.resolved_fault_policy(self.name)
+        self._failures = 0
         start = time.perf_counter()
         placement = assign_columns_to_workers(
             table.n_columns,
@@ -498,13 +593,17 @@ class ProcessRuntime(Runtime):
         master.start()
         cluster.engine.drain()
 
+        live = set(range(1, self.system.n_workers + 1))
         messages_handled = 0
         last_message = time.monotonic()
         while not master.is_done():
             try:
                 message = transport.recv_master(options.poll_interval_seconds)
             except queue_module.Empty:
-                transport.check_alive()
+                if self._check_children(transport, master, cluster, live):
+                    # Recovery just generated fresh traffic (revocations,
+                    # re-planned tasks): restart the silence clock.
+                    last_message = time.monotonic()
                 if (
                     time.monotonic() - last_message
                     > options.message_timeout_seconds
@@ -528,7 +627,7 @@ class ProcessRuntime(Runtime):
             master.handle_message(message)
             cluster.engine.drain()
 
-        stats = self._collect_worker_stats(transport)
+        stats = self._collect_worker_stats(transport, live)
         self._check_invariants(master, stats)
         wall = time.perf_counter() - start
 
@@ -541,7 +640,7 @@ class ProcessRuntime(Runtime):
         return RunReport(
             sim_seconds=wall,
             cluster=self._cluster_report(
-                wall, cluster, stats, messages_handled, transport
+                wall, cluster, stats, messages_handled, transport, master
             ),
             counters=master.counters,
             models=models,
@@ -550,21 +649,69 @@ class ProcessRuntime(Runtime):
         )
 
     # ------------------------------------------------------------------
+    def _check_children(
+        self,
+        transport: ProcessTransport,
+        master: MasterActor,
+        cluster: LocalCluster,
+        live: set[int],
+    ) -> bool:
+        """Liveness poll: apply the fault policy to any dead worker.
+
+        Returns True when a crash was recovered from (the caller resets
+        its silence clock).  ``fail_fast`` — and any crash recovery
+        cannot survive: a column losing its last replica, or more than
+        ``max_worker_failures`` crashes — raises
+        :class:`WorkerDiedError`.
+        """
+        dead = transport.dead_workers()
+        if not dead:
+            return False
+        for wid, code in dead:
+            if self._fault_policy != "recover":
+                raise WorkerDiedError(wid, code)
+            self._failures += 1
+            if self._failures > self.options.max_worker_failures:
+                raise WorkerDiedError(
+                    wid,
+                    code,
+                    f"fault_policy='recover' exhausted: crash number "
+                    f"{self._failures} exceeds max_worker_failures="
+                    f"{self.options.max_worker_failures}",
+                )
+            lost = sorted(
+                col
+                for col, holders in master.holders.items()
+                if set(holders) == {wid}
+            )
+            if lost:
+                raise WorkerDiedError(
+                    wid,
+                    code,
+                    f"columns {lost} have no surviving replica "
+                    f"(column_replication too small for this crash)",
+                )
+            master.on_worker_crashed(wid)
+            cluster.engine.drain()
+            transport.flush()
+            transport.reap_worker(wid)
+            live.discard(wid)
+        return True
+
+    # ------------------------------------------------------------------
     def _collect_worker_stats(
-        self, transport: ProcessTransport
+        self, transport: ProcessTransport, live: set[int]
     ) -> dict[int, WorkerStatsMsg]:
-        """Shutdown phase: every worker reports stats, then exits."""
-        for wid in range(1, self.system.n_workers + 1):
+        """Shutdown phase: every surviving worker reports stats, then exits."""
+        for wid in sorted(live):
             transport.send(0, wid, MSG_SHUTDOWN, ShutdownMsg(), 0)
         transport.flush()
         stats: dict[int, WorkerStatsMsg] = {}
         deadline = time.monotonic() + self.options.message_timeout_seconds
-        while len(stats) < self.system.n_workers:
+        while len(stats) < len(live):
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                missing = sorted(
-                    set(range(1, self.system.n_workers + 1)) - set(stats)
-                )
+                missing = sorted(live - set(stats))
                 raise MessageTimeoutError(
                     self.options.message_timeout_seconds,
                     f"shutdown stats from workers {missing}",
@@ -620,6 +767,7 @@ class ProcessRuntime(Runtime):
         stats: dict[int, WorkerStatsMsg],
         messages_handled: int,
         transport: ProcessTransport,
+        master: MasterActor,
     ) -> ClusterReport:
         """Paper-style summary from real-process counters.
 
@@ -686,12 +834,20 @@ class ProcessRuntime(Runtime):
                 "bytes_pickled": stats[wid].bytes_pickled,
                 "shm_bytes_mapped": stats[wid].shm_bytes_mapped,
                 "coalesced_batches": stats[wid].coalesced_batches,
+                "revoked_trees_seen": stats[wid].revoked_trees_seen,
+                "stale_shm_drops": stats[wid].stale_shm_drops,
             }
             for wid in sorted(stats)
         }
         report.transport = {
             "shm": transport.shm_prefix is not None,
             "start_method": transport.start_method,
+            "fault_policy": self._fault_policy,
+            "recovered_workers": master.counters.recovered_workers,
+            "revoked_trees": master.counters.revoked_trees,
+            "stale_shm_drops": sum(
+                w["stale_shm_drops"] for w in per_worker.values()
+            ),
             "messages_sent": fabric.messages_sent
             + sum(w["messages_sent"] for w in per_worker.values()),
             "bytes_pickled": fabric.bytes_pickled

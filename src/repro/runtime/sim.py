@@ -24,7 +24,7 @@ from ..core.master import MasterActor, _TableInfo
 from ..core.secondary import SecondaryMasterActor
 from ..core.worker import WorkerActor
 from ..data.table import DataTable
-from .base import Runtime
+from .base import Runtime, RuntimeOptions, WorkerDiedError
 
 
 class SimTransport:
@@ -51,8 +51,14 @@ class SimRuntime(Runtime):
 
     name = "sim"
 
-    def __init__(self, system: SystemConfig, cost: CostModel) -> None:
+    def __init__(
+        self,
+        system: SystemConfig,
+        cost: CostModel,
+        options: RuntimeOptions | None = None,
+    ) -> None:
         super().__init__(system, cost)
+        self.options = options or RuntimeOptions()
 
     def fit(
         self,
@@ -118,12 +124,21 @@ class SimRuntime(Runtime):
             injector = FaultInjector(
                 cluster.engine, cluster.machines, cluster.network
             )
+            fault_policy = self.options.resolved_fault_policy(self.name)
 
             def on_failure(machine_id: int) -> None:
                 if machine_id == cluster.MASTER:
                     assert secondary is not None
                     secondary.on_master_failure()
                     return
+                if fault_policy == "fail_fast":
+                    raise WorkerDiedError(
+                        machine_id,
+                        None,
+                        "fault_policy='fail_fast' treats the injected crash "
+                        "as fatal (pass fault_policy='recover' to retrain "
+                        "on survivors)",
+                    )
                 active = (
                     secondary.promoted
                     if secondary is not None and secondary.promoted

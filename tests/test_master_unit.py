@@ -10,12 +10,15 @@ from repro.core import (
     decision_tree_job,
     random_forest_job,
 )
-from repro.core.master import _TreeBuild
+from repro.core.load_balance import TaskCharge
+from repro.core.master import MasterActor, _MasterTaskState, _TableInfo, _TreeBuild
 from repro.core.scheduler import TreeTicket
 from repro.core.jobs import decision_tree_job as dt_job
-from repro.core.tasks import TreeContext
+from repro.core.tasks import MSG_REVOKE_TREE, ParentRef, PlanEntry, TreeContext
 from repro.core.tree import TreeNode
+from repro.data.schema import ProblemKind
 from repro.datasets import SyntheticSpec, generate
+from repro.runtime.local import LocalCluster
 
 
 def make_build() -> _TreeBuild:
@@ -147,6 +150,23 @@ class TestRunConsistency:
             report.cluster.total_bytes
         )
 
+    def test_crash_revocation_scope_is_pinned(self, medium_table):
+        """End-to-end: revoked_trees stays well below trees trained."""
+        from repro.cluster.faults import CrashPlan
+
+        system = SystemConfig(n_workers=5, compers_per_worker=2).scaled_to(
+            medium_table.n_rows
+        )
+        report = TreeServer(system).fit(
+            medium_table,
+            [random_forest_job("rf", 6, TreeConfig(max_depth=5), seed=2)],
+            crash_plans=[CrashPlan(machine_id=3, at_time=0.004)],
+        )
+        assert report.counters.recovered_workers == 1
+        # The crash happens while the first pool of trees is in flight;
+        # only those can be revoked, never the whole forest's history.
+        assert 1 <= report.counters.revoked_trees <= 6
+
     def test_scheduling_policies_same_model(self, medium_table):
         from repro.core import trees_equal
 
@@ -165,3 +185,196 @@ class TestRunConsistency:
             trees[policy] = report.tree("dt")
         assert trees_equal(trees["hybrid"], trees["fifo"])
         assert trees_equal(trees["hybrid"], trees["lifo"])
+
+
+# ----------------------------------------------------------------------
+# crash-recovery revocation scope (the affected-trees-only guarantee)
+# ----------------------------------------------------------------------
+class RecordingTransport:
+    """Transport stub that remembers every send."""
+
+    def __init__(self) -> None:
+        self.messages: list[tuple[int, int, str, object]] = []
+
+    def send(self, src, dst, kind, payload, size_bytes) -> None:
+        self.messages.append((src, dst, kind, payload))
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def make_master(n_workers=3, n_columns=4, n_trees=2):
+    """A live MasterActor over local shims, two trees admitted (uids 1, 2)."""
+    system = SystemConfig(n_workers=n_workers, compers_per_worker=2)
+    cost = TreeServer(system).cost
+    transport = RecordingTransport()
+    cluster = LocalCluster(n_workers, cost, transport)
+    info = _TableInfo(
+        n_rows=4000,
+        n_columns=n_columns,
+        problem=ProblemKind.CLASSIFICATION,
+        n_classes=2,
+    )
+    holders = {
+        c: [(c % n_workers) + 1, ((c + 1) % n_workers) + 1]
+        for c in range(n_columns)
+    }
+    jobs = [random_forest_job("rf", n_trees, TreeConfig(max_depth=6), seed=0)]
+    master = MasterActor(cluster, info, jobs, system, holders)
+    master.start()
+    cluster.engine.drain()
+    return master, transport
+
+
+def clear_in_flight(master) -> None:
+    """Drop the real root tasks so tests can plant crafted task states."""
+    master.ttask.clear()
+    while master.bplan.pop() is not None:
+        pass
+
+
+def crafted_entry(master, uid, path=1, parent=None, n_rows=100):
+    return PlanEntry(
+        task=(uid, path),
+        n_rows=n_rows,
+        depth=0,
+        parent=parent,
+        ctx=master.builds[uid].ctx,
+        is_subtree=False,
+    )
+
+
+def revoke_broadcasts(transport):
+    return [
+        (dst, payload.tree_uid)
+        for (_, dst, kind, payload) in transport.messages
+        if kind == MSG_REVOKE_TREE
+    ]
+
+
+class TestCrashRevocationScope:
+    def test_revokes_only_the_tree_with_tasks_on_dead_worker(self):
+        """ISSUE 4 headline pin: tree A's task sits on worker 1, tree B's
+        on workers 2+3; crashing worker 1 revokes exactly one tree."""
+        master, transport = make_master()
+        uid_a, uid_b = sorted(master.builds)
+        clear_in_flight(master)
+        master.ttask[(uid_a, 1)] = _MasterTaskState(
+            entry=crafted_entry(master, uid_a),
+            charge=TaskCharge(),
+            is_subtree=False,
+            expected_workers=frozenset({1}),
+        )
+        master.ttask[(uid_b, 1)] = _MasterTaskState(
+            entry=crafted_entry(master, uid_b),
+            charge=TaskCharge(),
+            is_subtree=False,
+            expected_workers=frozenset({2, 3}),
+        )
+        transport.messages.clear()
+        master.on_worker_crashed(1)
+        assert master.counters.revoked_trees == 1
+        assert master.counters.recovered_workers == 1
+        assert uid_a not in master.builds
+        assert uid_b in master.builds  # untouched tree keeps running
+        assert (uid_b, 1) in master.ttask
+        revokes = revoke_broadcasts(transport)
+        assert {uid for _, uid in revokes} == {uid_a}
+        assert {dst for dst, _ in revokes} == {2, 3}  # only live workers
+        # Tree A was re-admitted under a fresh uid.
+        assert any(uid > uid_b for uid in master.builds)
+        assert 1 not in master.live_workers
+        assert all(1 not in ws for ws in master.holders.values())
+
+    def test_crash_with_no_involvement_revokes_nothing(self):
+        master, transport = make_master()
+        uid_a, uid_b = sorted(master.builds)
+        clear_in_flight(master)
+        master.ttask[(uid_b, 1)] = _MasterTaskState(
+            entry=crafted_entry(master, uid_b),
+            charge=TaskCharge(),
+            is_subtree=False,
+            expected_workers=frozenset({2, 3}),
+        )
+        transport.messages.clear()
+        master.on_worker_crashed(1)
+        assert master.counters.revoked_trees == 0
+        assert master.counters.recovered_workers == 1
+        assert revoke_broadcasts(transport) == []
+        assert {uid_a, uid_b} <= set(master.builds)
+
+    def test_queued_plan_with_dead_parent_delegate_revokes_its_tree(self):
+        """A not-yet-dispatched child whose I_x store lived on the dead
+        worker must revoke its tree even with no task state in flight."""
+        master, transport = make_master()
+        uid_a, uid_b = sorted(master.builds)
+        clear_in_flight(master)
+        master.bplan.insert(
+            crafted_entry(
+                master,
+                uid_b,
+                path=2,
+                parent=ParentRef(task=(uid_b, 1), side=0, worker=1),
+                n_rows=50,
+            )
+        )
+        master.on_worker_crashed(1)
+        assert master.counters.revoked_trees == 1
+        assert uid_b not in master.builds
+        assert uid_a in master.builds
+        assert all(e.tree_uid != uid_b for e in master.bplan.entries())
+
+    @pytest.mark.parametrize(
+        "involvement",
+        [
+            dict(delegate=1),
+            dict(is_subtree=True, key_worker=1),
+            dict(is_subtree=True, key_worker=2, servers=frozenset({1, 3})),
+            dict(charge=TaskCharge(entries=[(1, 0, 3.0)])),
+        ],
+        ids=["delegate", "key-worker", "column-server", "charge-sheet"],
+    )
+    def test_every_involvement_role_triggers_revocation(self, involvement):
+        master, transport = make_master()
+        uid_a, uid_b = sorted(master.builds)
+        clear_in_flight(master)
+        kwargs = dict(
+            entry=crafted_entry(master, uid_a),
+            charge=TaskCharge(),
+            is_subtree=False,
+            expected_workers=frozenset({2}),
+        )
+        kwargs.update(involvement)
+        master.ttask[(uid_a, 1)] = _MasterTaskState(**kwargs)
+        master.on_worker_crashed(1)
+        assert master.counters.revoked_trees == 1
+        assert uid_a not in master.builds
+        assert uid_b in master.builds
+
+    def test_parent_store_on_dead_worker_triggers_revocation(self):
+        master, _ = make_master()
+        uid_a, uid_b = sorted(master.builds)
+        clear_in_flight(master)
+        master.ttask[(uid_a, 2)] = _MasterTaskState(
+            entry=crafted_entry(
+                master,
+                uid_a,
+                path=2,
+                parent=ParentRef(task=(uid_a, 1), side=0, worker=1),
+            ),
+            charge=TaskCharge(),
+            is_subtree=False,
+            expected_workers=frozenset({2, 3}),
+        )
+        master.on_worker_crashed(1)
+        assert master.counters.revoked_trees == 1
+        assert uid_a not in master.builds
+
+    def test_column_losing_last_replica_is_a_hard_error(self):
+        master, _ = make_master()
+        master.holders[0] = [1]  # simulate k=1 on one column
+        with pytest.raises(RuntimeError, match="lost all replicas"):
+            master.on_worker_crashed(1)

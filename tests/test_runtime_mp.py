@@ -417,6 +417,187 @@ class TestSharedMemoryDataPlane:
 
 
 # ----------------------------------------------------------------------
+# crash recovery (fault_policy="recover")
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    """Losing 1 of 3 workers mid-train (k=2 replication) must complete
+    with models bit-identical to an undisturbed sim run."""
+
+    JOBS_SEED = 3
+
+    def _jobs(self):
+        return [
+            random_forest_job(
+                "rf", 4, TreeConfig(max_depth=7), seed=self.JOBS_SEED
+            )
+        ]
+
+    @pytest.mark.parametrize("use_shm", [True, False], ids=["shm", "queues"])
+    def test_recovers_and_stays_bit_identical(self, use_shm, monkeypatch):
+        table = _table()
+        jobs = self._jobs()
+        reference = _fit("sim", table, jobs).trees("rf")
+        # Fault injection through the env hook, as CI uses it.
+        monkeypatch.setenv("REPRO_MP_KILL", "2:6")
+        report = _fit_with(
+            table,
+            jobs,
+            _options(fault_policy="recover", use_shm=use_shm),
+        )
+        assert_bit_identical(reference, report.trees("rf"))
+        transport = report.cluster.transport
+        assert transport["fault_policy"] == "recover"
+        assert transport["recovered_workers"] == 1
+        assert report.counters.recovered_workers == 1
+        # The dead worker neither reports stats nor lingers as a process.
+        assert 2 not in transport["per_worker"]
+        assert set(transport["per_worker"]) == {1, 3}
+        for counters in transport["per_worker"].values():
+            assert counters["revoked_trees_seen"] == report.counters.revoked_trees
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+    def test_explicit_option_beats_env_hook(self, monkeypatch):
+        """RuntimeOptions.crash_worker_after wins over REPRO_MP_KILL."""
+        table = _table()
+        monkeypatch.setenv("REPRO_MP_KILL", "1:1")
+        report = _fit_with(
+            table,
+            self._jobs(),
+            # An impossible-to-reach crash point: the run finishes first.
+            _options(
+                fault_policy="recover", crash_worker_after=(1, 10**9)
+            ),
+        )
+        assert report.counters.recovered_workers == 0
+
+    def test_kill_env_spec_validation(self):
+        from repro.runtime.process import parse_kill_spec
+
+        assert parse_kill_spec("2:20") == (2, 20)
+        for bad in ("2", "a:b", "2:0", "0:5", "1:2:3", ""):
+            with pytest.raises(ValueError, match="REPRO_MP_KILL"):
+                parse_kill_spec(bad)
+
+    def test_fail_fast_policy_preserves_structured_error(self):
+        table = _table()
+        options = _options(
+            message_timeout_seconds=10.0,
+            fault_policy="fail_fast",
+            crash_worker_after=(2, 6),
+        )
+        with pytest.raises(WorkerDiedError) as info:
+            _fit_with(table, self._jobs(), options)
+        assert info.value.worker_id == 2
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+    def test_unsurvivable_crash_degrades_to_structured_error(self):
+        """replication=1: the dead worker's columns have no replica."""
+        table = _table()
+        server = TreeServer(
+            SystemConfig(
+                n_workers=3, compers_per_worker=2, column_replication=1
+            ).scaled_to(table.n_rows),
+            backend="mp",
+            runtime_options=_options(
+                message_timeout_seconds=10.0,
+                fault_policy="recover",
+                crash_worker_after=(2, 6),
+            ),
+        )
+        with pytest.raises(WorkerDiedError, match="no surviving replica"):
+            server.fit(table, self._jobs())
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+    def test_max_worker_failures_exhausted(self):
+        table = _table()
+        options = _options(
+            message_timeout_seconds=10.0,
+            fault_policy="recover",
+            max_worker_failures=0,
+            crash_worker_after=(2, 6),
+        )
+        with pytest.raises(WorkerDiedError, match="max_worker_failures"):
+            _fit_with(table, self._jobs(), options)
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+    def test_invalid_fault_policy_rejected(self):
+        with pytest.raises(ValueError, match="fault_policy"):
+            RuntimeOptions(fault_policy="retry-forever")
+        with pytest.raises(ValueError, match="max_worker_failures"):
+            RuntimeOptions(max_worker_failures=-1)
+
+    def test_cli_recover_trains_same_model_as_sim(self, tmp_path, monkeypatch):
+        """`repro train --backend mp --fault-policy recover` under the
+        REPRO_MP_KILL hook completes and matches the sim model bytes."""
+        from repro.cli import main
+        from repro.data.io import write_csv
+
+        table = _table("covtype")
+        csv = tmp_path / "data.csv"
+        write_csv(table, csv)
+        base = [
+            "train", "--csv", str(csv), "--target", "label",
+            "--forest", "2", "--workers", "3", "--max-depth", "6",
+        ]
+        monkeypatch.delenv("REPRO_MP_KILL", raising=False)
+        code = main(
+            base + ["--model-dir", str(tmp_path / "m_sim"), "--backend", "sim"],
+            out=io.StringIO(),
+        )
+        assert code == 0
+        monkeypatch.setenv("REPRO_MP_KILL", "2:6")
+        out = io.StringIO()
+        code = main(
+            base + [
+                "--model-dir", str(tmp_path / "m_mp"), "--backend", "mp",
+                "--fault-policy", "recover",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "recovered-workers=1" in out.getvalue()
+        for name in ("tree_0.json", "tree_1.json"):
+            assert (tmp_path / "m_mp" / name).read_text() == (
+                tmp_path / "m_sim" / name
+            ).read_text()
+        assert _repro_segments() == []
+
+    def test_cli_fail_fast_prints_one_line_error(self, tmp_path, monkeypatch, capsys):
+        """Default mp policy: child crash surfaces as a structured
+        one-line error and exit code 1 — not a raw traceback."""
+        from repro.cli import main
+        from repro.data.io import write_csv
+
+        table = _table("covtype")
+        csv = tmp_path / "data.csv"
+        write_csv(table, csv)
+        monkeypatch.setenv("REPRO_MP_KILL", "2:6")
+        code = main(
+            [
+                "train", "--csv", str(csv), "--target", "label",
+                "--model-dir", str(tmp_path / "m"), "--forest", "2",
+                "--workers", "3", "--max-depth", "6", "--backend", "mp",
+                "--mp-timeout", "10",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 1
+        stderr = capsys.readouterr().err
+        lines = [line for line in stderr.splitlines() if line.strip()]
+        assert len(lines) == 1
+        assert "worker 2 died" in lines[0]
+        assert "exitcode=71" in lines[0]
+        assert "fault-policy=fail_fast" in lines[0]
+        assert "--fault-policy recover" in lines[0]
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+
+# ----------------------------------------------------------------------
 # runtime factory
 # ----------------------------------------------------------------------
 class TestFactory:
