@@ -12,6 +12,8 @@ TreeServer's demo workflow:
 * ``serve`` — replay a CSV through the micro-batching
   :class:`~repro.serving.server.PredictionServer` and report latency and
   throughput counters.
+* ``worker`` — dial into a ``train --backend socket --listen`` master and
+  serve as one remote worker for the duration of the run.
 * ``evaluate`` — score a saved model against a labelled CSV.
 * ``datasets`` — list the built-in Table-I-shaped synthetic datasets and
   optionally materialize one as a CSV.
@@ -80,14 +82,28 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--compers", type=int, default=4)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument(
-        "--backend", choices=("sim", "mp"), default="sim",
-        help="execution substrate: sim (discrete-event simulator, default) "
-        "or mp (real worker processes; same model, wall-clock time)",
+        "--backend", choices=("sim", "mp", "socket"), default="sim",
+        help="execution substrate: sim (discrete-event simulator, default), "
+        "mp (real worker processes; same model, wall-clock time), or "
+        "socket (TCP transport; loopback subprocesses by default, "
+        "--listen for true multi-host runs)",
     )
     train.add_argument(
         "--mp-timeout", type=float, default=30.0, metavar="SECONDS",
-        help="mp backend: max silence between protocol messages before "
-        "the run is declared wedged",
+        help="mp/socket backends: max silence between protocol messages "
+        "before the run is declared wedged",
+    )
+    train.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="socket backend: listen on this address and wait for "
+        "'repro worker --connect' clients instead of self-launching "
+        "loopback workers",
+    )
+    train.add_argument(
+        "--hosts", default=None, metavar="ID,ID,...",
+        help="socket backend with --listen: comma-separated roster of "
+        "expected worker host ids; a dialing worker whose host id is "
+        "not on the roster is rejected at rendezvous",
     )
     train.add_argument(
         "--shm", action=argparse.BooleanOptionalAction, default=True,
@@ -154,6 +170,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="truncate prediction at this depth (Appendix D)",
     )
 
+    worker = sub.add_parser(
+        "worker",
+        help="join a socket-backend training run as a remote worker",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="master address (the train side's --listen)",
+    )
+    worker.add_argument(
+        "--worker-id", required=True, type=int, metavar="N",
+        help="this worker's id, 1..n_workers (each id joins exactly once)",
+    )
+    worker.add_argument("--csv", required=True, help="training CSV path")
+    worker.add_argument("--target", required=True, help="target column name")
+    worker.add_argument(
+        "--host-id", default=None, metavar="ID",
+        help="override the auto-detected host identity (hostname/machine-id); "
+        "workers sharing a host id exchange shared-memory descriptors",
+    )
+
     evaluate = sub.add_parser("evaluate", help="score a saved model")
     evaluate.add_argument("--csv", required=True)
     evaluate.add_argument("--target", required=True)
@@ -191,11 +227,24 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
     system = SystemConfig(
         n_workers=args.workers, compers_per_worker=args.compers
     ).scaled_to(table.n_rows)
+    if args.listen is not None and args.backend != "socket":
+        print("--listen requires --backend socket", file=sys.stderr)
+        return 2
+    hosts = None
+    if args.hosts is not None:
+        if args.listen is None:
+            print("--hosts requires --listen", file=sys.stderr)
+            return 2
+        hosts = tuple(
+            part.strip() for part in args.hosts.split(",") if part.strip()
+        )
     options = RuntimeOptions(
         message_timeout_seconds=args.mp_timeout,
         use_shm=args.shm,
         fault_policy=args.fault_policy,
         max_worker_failures=args.max_worker_failures,
+        listen=args.listen,
+        expected_hosts=hosts,
     )
     server = TreeServer(
         system, backend=args.backend, runtime_options=options
@@ -222,7 +271,7 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
         return 1
     trees = report.trees("model")
     save_model_local(args.model_dir, "model", trees)
-    if report.backend == "mp":
+    if report.backend in ("mp", "socket"):
         timing = (
             f"in {report.wall_seconds:.3f} wall-clock seconds on "
             f"{args.workers} worker processes"
@@ -259,6 +308,36 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
             )
     print(f"model saved to {args.model_dir}", file=out)
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace, out) -> int:
+    from .runtime.socket import HandshakeError, connect_worker
+
+    table = read_csv(args.csv, target=args.target)
+    print(
+        f"worker {args.worker_id}: dialing {args.connect} "
+        f"({table.n_rows} rows, {table.n_columns} columns)",
+        file=out,
+    )
+    try:
+        with graceful_sigint():
+            code = connect_worker(
+                args.connect, args.worker_id, table, host_id=args.host_id
+            )
+    except HandshakeError as error:
+        print(f"error: rendezvous failed: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: cannot reach {args.connect}: {error}", file=sys.stderr)
+        return 1
+    if code == 0:
+        print(f"worker {args.worker_id}: run complete", file=out)
+    else:
+        print(
+            f"worker {args.worker_id}: exited with code {code}",
+            file=sys.stderr,
+        )
+    return code
 
 
 def _read_feature_csv(
@@ -392,6 +471,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     try:
         if args.command == "train":
             return _cmd_train(args, out)
+        if args.command == "worker":
+            return _cmd_worker(args, out)
         if args.command == "predict":
             return _cmd_predict(args, out)
         if args.command == "serve":

@@ -5,7 +5,7 @@ replication, runs the submitted jobs through the master/worker protocol on
 the selected **runtime backend**, and returns the trained models together
 with paper-style run metrics.
 
-Two backends (see ``repro.runtime`` and ``docs/RUNTIME.md``):
+Three backends (see ``repro.runtime`` and ``docs/RUNTIME.md``):
 
 * ``"sim"`` (default) — the deterministic discrete-event simulator; time
   is simulated seconds, fault injection and the secondary master are
@@ -13,6 +13,9 @@ Two backends (see ``repro.runtime`` and ``docs/RUNTIME.md``):
 * ``"mp"`` — real OS processes exchanging the same typed messages over
   ``multiprocessing`` queues; time is wall-clock.  Bit-identical models
   to ``"sim"`` on the same inputs.
+* ``"socket"`` — the same protocol over length-prefixed pickled frames
+  on persistent TCP, for true multi-host runs (``repro worker``) with a
+  loopback self-launch mode on one machine.  Bit-identical too.
 
 Typical use::
 
@@ -49,9 +52,10 @@ class RunReport:
     models: dict[str, list[DecisionTree]] = field(default_factory=dict)
     #: The simulated machines, kept only when the run recorded timelines.
     machines: list | None = None
-    #: Which runtime backend produced this report (``"sim"`` or ``"mp"``).
+    #: Which runtime backend produced this report (one of
+    #: ``repro.runtime.BACKENDS``).
     backend: str = "sim"
-    #: Real elapsed seconds.  On the mp backend this equals
+    #: Real elapsed seconds.  On the mp and socket backends this equals
     #: ``sim_seconds`` (there is no simulated clock there); on the sim
     #: backend it is how long the simulation itself took to run.
     wall_seconds: float = 0.0
@@ -90,10 +94,11 @@ class TreeServer:
     """A TreeServer deployment ready to train tree models.
 
     ``backend`` selects the execution substrate: ``"sim"`` (default, the
-    discrete-event simulator) or ``"mp"`` (real worker processes).
-    ``runtime_options`` tunes the mp backend's timeouts and process
-    start method, and the fault policy on either backend (the simulator
-    ignores the mp-only knobs).
+    discrete-event simulator), ``"mp"`` (real worker processes) or
+    ``"socket"`` (worker processes over TCP, possibly on other hosts).
+    ``runtime_options`` tunes the process backends' timeouts, start
+    method and socket rendezvous, and the fault policy on any backend
+    (the simulator ignores the process-only knobs).
     """
 
     def __init__(
@@ -134,7 +139,7 @@ class TreeServer:
         master crash survivable; ``record_timeline`` traces every executed
         work item so :meth:`RunReport.utilization_curve` can be used;
         ``max_events`` is a runaway guard.  All four are simulator-only
-        features — the mp backend rejects them.
+        features — the process backends reject them.
         """
         from ..runtime import create_runtime
 

@@ -51,6 +51,14 @@ MSG_REVOKE_TREE = "revoke_tree"
 MSG_SHUTDOWN = "shutdown"
 MSG_WORKER_STATS = "worker_stats"
 MSG_WORKER_ERROR = "worker_error"
+# Socket-backend rendezvous (control frames, never protocol traffic).
+MSG_WORKER_HELLO = "worker_hello"
+MSG_WORKER_WELCOME = "worker_welcome"
+
+#: Wire version of the socket handshake.  A master rejects a hello whose
+#: version differs — both sides must run the same protocol revision to
+#: guarantee bit-identical training.
+SOCKET_PROTOCOL_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -447,6 +455,52 @@ class WorkerStatsMsg:
 
 
 @dataclass
+class WorkerHelloMsg:
+    """Socket worker -> master: rendezvous request (first frame sent).
+
+    ``table_hash`` is :func:`repro.data.table.table_fingerprint` of the
+    worker's local table copy — the master rejects a hello whose hash
+    differs from its own, because exact distributed training is only
+    meaningful when every machine trains on byte-identical data.
+    ``host_id`` identifies the physical host (hostname plus machine id);
+    workers that share the master's reported host id may exchange
+    ``row_response_shm`` descriptors, everyone else falls back to inline
+    row-id transfer (docs/PROTOCOL.md, "Rendezvous handshake").
+    """
+
+    worker_id: int
+    protocol_version: int
+    table_hash: str
+    host_id: str
+    pid: int = 0
+
+
+@dataclass
+class WorkerWelcomeMsg:
+    """Master -> socket worker: rendezvous reply.
+
+    ``ok=False`` carries a human-readable rejection in ``error`` and the
+    worker exits without joining.  On acceptance the welcome ships
+    everything the worker needs to run its actor: the cluster size, its
+    held columns, the host map of every peer (for the shm-peer rule),
+    the run's shm prefix (``None`` when the data plane is disabled or
+    the worker is on a different host than the master's table image),
+    the transport knobs, and the cost model.
+    """
+
+    ok: bool
+    error: str = ""
+    n_workers: int = 0
+    held_columns: tuple[int, ...] = ()
+    host_map: dict[int, str] = field(default_factory=dict)
+    shm_prefix: str | None = None
+    shm_threshold_bytes: int = 8192
+    coalesce_max_messages: int = 32
+    poll_interval_seconds: float = 0.05
+    cost: object | None = None
+
+
+@dataclass
 class WorkerErrorMsg:
     """Worker process -> runtime driver: the worker hit an exception.
 
@@ -482,4 +536,6 @@ MESSAGE_DATACLASSES: tuple[type, ...] = (
     ShutdownMsg,
     WorkerStatsMsg,
     WorkerErrorMsg,
+    WorkerHelloMsg,
+    WorkerWelcomeMsg,
 )

@@ -134,6 +134,7 @@ class WorkerActor:
         master_id: int = SimulatedCluster.MASTER,
         arena: ShmArena | None = None,
         shm_threshold_bytes: int = 8192,
+        shm_peers: set[int] | None = None,
     ) -> None:
         self.cluster = cluster
         self.worker_id = worker_id
@@ -145,6 +146,13 @@ class WorkerActor:
         #: :class:`ShmSlice` descriptors instead of pickled arrays.
         self.arena = arena
         self.shm_threshold_bytes = shm_threshold_bytes
+        #: Which peers may receive :class:`ShmSlice` descriptors from this
+        #: worker.  ``None`` means everyone (mp backend: all workers share
+        #: one host by construction); the socket backend narrows it to the
+        #: workers whose handshake host id matches ours, and row responses
+        #: to anyone else fall back to inline transfer (docs/PROTOCOL.md,
+        #: "Descriptor vs inline: the host rule").
+        self.shm_peers = shm_peers
         self.cost = cluster.cost
         self.machine = cluster.machines[worker_id]
         self._column_tasks: dict[TaskId, _ColumnTaskState] = {}
@@ -381,6 +389,7 @@ class WorkerActor:
         if (
             self.arena is not None
             and int(row_ids.nbytes) >= self.shm_threshold_bytes
+            and (self.shm_peers is None or msg.requester in self.shm_peers)
         ):
             # Zero-copy wire path: park the side in the arena once (every
             # replica fetch of the same side reuses the slot) and ship

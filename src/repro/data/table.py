@@ -12,6 +12,7 @@ code ``-1`` in categorical columns.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -186,3 +187,27 @@ class DataTable:
             f"DataTable(rows={self.n_rows}, cols={self.n_columns}, "
             f"problem={self.problem.value})"
         )
+
+
+def table_fingerprint(table: DataTable) -> str:
+    """Content hash of a table: schema shape plus every payload byte.
+
+    The socket backend's rendezvous handshake compares this hash between
+    the master and each dialing worker — exact distributed training is
+    only meaningful when every machine holds byte-identical data, and a
+    mismatched CSV or encoding difference should fail loudly at join
+    time, not as a silently different model.  Hashes cover dtype and
+    schema metadata as well as raw bytes, so e.g. the same values as
+    ``float32`` vs ``float64`` fingerprint differently.
+    """
+    h = hashlib.sha256()
+    h.update(f"{table.problem.value}|{table.n_classes}|".encode())
+    for spec, arr in zip(table.schema.columns, table.columns):
+        h.update(
+            f"{spec.name}|{spec.kind.value}|{spec.n_categories}|"
+            f"{arr.dtype.str}|".encode()
+        )
+        h.update(np.ascontiguousarray(arr).tobytes())
+    h.update(f"target|{table.target.dtype.str}|".encode())
+    h.update(np.ascontiguousarray(table.target).tobytes())
+    return h.hexdigest()

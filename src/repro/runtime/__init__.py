@@ -1,11 +1,13 @@
 """Execution substrates for the TreeServer protocol.
 
-Two backends behind one seam: the deterministic discrete-event simulator
-(``"sim"``, the default — every paper experiment runs on it) and the real
-multiprocess runtime (``"mp"`` — one OS process per worker, peer-to-peer
-queues, wall-clock time).  Selected via ``TreeServer(..., backend=...)``
-or ``repro train --backend``; both train bit-identical models.  See
-``docs/RUNTIME.md``.
+Three backends behind one seam: the deterministic discrete-event
+simulator (``"sim"``, the default — every paper experiment runs on it),
+the real multiprocess runtime (``"mp"`` — one OS process per worker,
+peer-to-peer queues, wall-clock time), and the socket runtime
+(``"socket"`` — length-prefixed pickled frames over persistent TCP for
+true multi-host runs, with a loopback self-launch mode for one machine).
+Selected via ``TreeServer(..., backend=...)`` or ``repro train
+--backend``; all train bit-identical models.  See ``docs/RUNTIME.md``.
 """
 
 from .base import (
@@ -22,10 +24,17 @@ from .base import (
 from .process import ProcessRuntime, ProcessTransport, resolve_start_method
 from .signals import graceful_sigint, reap_children
 from .sim import SimRuntime, SimTransport
+from .socket import (
+    HandshakeError,
+    SocketRuntime,
+    SocketTransport,
+    connect_worker,
+)
 
 __all__ = [
     "BACKENDS",
     "FAULT_POLICIES",
+    "HandshakeError",
     "MessageTimeoutError",
     "ProcessRuntime",
     "ProcessTransport",
@@ -34,8 +43,11 @@ __all__ = [
     "RuntimeOptions",
     "SimRuntime",
     "SimTransport",
+    "SocketRuntime",
+    "SocketTransport",
     "Transport",
     "WorkerDiedError",
+    "connect_worker",
     "create_runtime",
     "graceful_sigint",
     "reap_children",

@@ -7,16 +7,19 @@ those actors run and *how* the messages travel is the runtime's concern:
 * a :class:`Transport` moves one addressed message between machines —
   :class:`~repro.runtime.sim.SimTransport` rides the discrete-event
   ``Network``, :class:`~repro.runtime.process.ProcessTransport` rides
-  per-process ``multiprocessing`` queues;
+  per-process ``multiprocessing`` queues,
+  :class:`~repro.runtime.socket.SocketTransport` rides length-prefixed
+  pickled frames over persistent TCP;
 * a :class:`Runtime` owns a whole training run on one substrate and
   returns the same :class:`~repro.core.server.RunReport` either way.
 
-``TreeServer(..., backend="sim" | "mp")`` picks the runtime through
-:func:`create_runtime`; the simulator stays the default.  Both backends
-run the identical master state machine, and because split arbitration is
-``min (score, column)`` and all per-node randomness derives from
-``(tree seed, node path)``, they produce bit-identical models (pinned by
-``tests/test_runtime_mp.py``).
+``TreeServer(..., backend="sim" | "mp" | "socket")`` picks the runtime
+through :func:`create_runtime`; the simulator stays the default.  All
+backends run the identical master state machine, and because split
+arbitration is ``min (score, column)`` and all per-node randomness
+derives from ``(tree seed, node path)``, they produce bit-identical
+models (pinned by ``tests/test_runtime_mp.py`` and
+``tests/test_runtime_socket.py``).
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..data.table import DataTable
 
 #: Names accepted by ``TreeServer(..., backend=...)`` / ``repro train --backend``.
-BACKENDS = ("sim", "mp")
+BACKENDS = ("sim", "mp", "socket")
 
 #: Accepted ``RuntimeOptions.fault_policy`` values.  ``fail_fast`` turns a
 #: worker crash into a :class:`WorkerDiedError`; ``recover`` feeds it into
@@ -144,21 +147,38 @@ class RuntimeOptions:
     trees it was involved in, and retrains them on the survivors), or
     ``None`` to take the backend default — ``recover`` on the simulator
     (crash plans are explicit fault experiments), ``fail_fast`` on the
-    multiprocess backend (a real crash is surfaced unless recovery was
-    asked for).  ``max_worker_failures`` caps how many crashes a
-    recovering run absorbs before giving up; recovery also requires every
-    column of the dead worker to retain a live replica (``k >= 2``).
+    multiprocess and socket backends (a real crash is surfaced unless
+    recovery was asked for).  ``max_worker_failures`` caps how many
+    crashes a recovering run absorbs before giving up; recovery also
+    requires every column of the dead worker to retain a live replica
+    (``k >= 2``).  ``raise_worker_after`` is the soft sibling of
+    ``crash_worker_after``: ``(worker_id, n_messages)`` makes that worker
+    *raise* (a Python exception shipped home as ``worker_error``) instead
+    of hard-dying — the injection hook behind the logic-error recovery
+    tests.
+
+    Socket backend (``docs/RUNTIME.md``): ``listen`` is the
+    ``host:port`` the master binds for worker rendezvous; ``None`` (the
+    default) self-launches the workers as local subprocesses dialing in
+    over loopback.  ``expected_hosts`` optionally pins the rendezvous
+    roster — a worker whose handshake host id is not in the list is
+    rejected.  ``rendezvous_timeout_seconds`` bounds how long the master
+    waits for all workers to dial in.
     """
 
     message_timeout_seconds: float = 30.0
     poll_interval_seconds: float = 0.05
     start_method: str | None = None
     crash_worker_after: tuple[int, int] | None = None
+    raise_worker_after: tuple[int, int] | None = None
     use_shm: bool = True
     shm_threshold_bytes: int = 8192
     coalesce_max_messages: int = 32
     fault_policy: str | None = None
     max_worker_failures: int = 1
+    listen: str | None = None
+    expected_hosts: tuple[str, ...] | None = None
+    rendezvous_timeout_seconds: float = 60.0
 
     def __post_init__(self) -> None:
         if self.fault_policy is not None and self.fault_policy not in FAULT_POLICIES:
@@ -168,6 +188,40 @@ class RuntimeOptions:
             )
         if self.max_worker_failures < 0:
             raise ValueError("max_worker_failures must be >= 0")
+        if self.message_timeout_seconds <= 0:
+            raise ValueError(
+                f"message_timeout_seconds must be > 0, got "
+                f"{self.message_timeout_seconds!r}"
+            )
+        if self.poll_interval_seconds <= 0:
+            raise ValueError(
+                f"poll_interval_seconds must be > 0, got "
+                f"{self.poll_interval_seconds!r}"
+            )
+        if self.rendezvous_timeout_seconds <= 0:
+            raise ValueError(
+                f"rendezvous_timeout_seconds must be > 0, got "
+                f"{self.rendezvous_timeout_seconds!r}"
+            )
+        if self.shm_threshold_bytes < 0:
+            raise ValueError(
+                f"shm_threshold_bytes must be >= 0, got "
+                f"{self.shm_threshold_bytes!r}"
+            )
+        if self.coalesce_max_messages < 1:
+            raise ValueError(
+                f"coalesce_max_messages must be >= 1 (1 disables "
+                f"coalescing), got {self.coalesce_max_messages!r}"
+            )
+        for name in ("crash_worker_after", "raise_worker_after"):
+            spec = getattr(self, name)
+            if spec is None:
+                continue
+            if len(spec) != 2 or any(entry < 0 for entry in spec):
+                raise ValueError(
+                    f"{name} must be a (worker_id, n_messages) pair of "
+                    f"non-negative integers, got {spec!r}"
+                )
 
     def resolved_fault_policy(self, backend: str) -> str:
         """The effective policy for a backend (``None`` -> its default)."""
@@ -213,7 +267,7 @@ def create_runtime(
     cost: "CostModel",
     options: RuntimeOptions | None = None,
 ) -> Runtime:
-    """Instantiate the runtime for a backend name (``"sim"`` or ``"mp"``)."""
+    """Instantiate the runtime for a backend name (one of :data:`BACKENDS`)."""
     if backend == "sim":
         from .sim import SimRuntime
 
@@ -222,6 +276,10 @@ def create_runtime(
         from .process import ProcessRuntime
 
         return ProcessRuntime(system, cost, options or RuntimeOptions())
+    if backend == "socket":
+        from .socket import SocketRuntime
+
+        return SocketRuntime(system, cost, options or RuntimeOptions())
     raise ValueError(
         f"unknown backend {backend!r}; expected one of {BACKENDS}"
     )

@@ -114,20 +114,25 @@ CRASH_EXITCODE = 71
 #: ``RuntimeOptions.crash_worker_after`` (which takes precedence when set).
 KILL_ENV = "REPRO_MP_KILL"
 
+#: Soft sibling of :data:`KILL_ENV`: ``REPRO_MP_RAISE=worker:after_n`` makes
+#: that worker *raise* a Python exception (shipped home as ``worker_error``)
+#: instead of hard-dying, exactly like ``RuntimeOptions.raise_worker_after``.
+RAISE_ENV = "REPRO_MP_RAISE"
 
-def parse_kill_spec(spec: str) -> tuple[int, int]:
-    """Parse the :data:`KILL_ENV` spec ``worker:after_n_messages``."""
+
+def parse_kill_spec(spec: str, env_name: str = KILL_ENV) -> tuple[int, int]:
+    """Parse a fault-injection spec ``worker:after_n_messages``."""
     try:
         worker_text, after_text = spec.split(":")
         worker, after = int(worker_text), int(after_text)
     except ValueError:
         raise ValueError(
-            f"invalid {KILL_ENV} spec {spec!r}; expected "
+            f"invalid {env_name} spec {spec!r}; expected "
             f"'worker:after_n_messages', e.g. '2:20'"
         ) from None
     if worker < 1 or after < 1:
         raise ValueError(
-            f"invalid {KILL_ENV} spec {spec!r}: worker id and message "
+            f"invalid {env_name} spec {spec!r}: worker id and message "
             f"count must both be >= 1"
         )
     return worker, after
@@ -235,6 +240,7 @@ def _worker_main(
     cost: CostModel,
     options_tuple: tuple,
     crash_after: int | None,
+    raise_after: int | None = None,
 ) -> None:
     """Entry point of one worker process: an event loop around the actor.
 
@@ -245,7 +251,9 @@ def _worker_main(
     parent disappears (exit silently — we are orphaned), or the actor
     raises (ship the traceback to the driver, exit 1).  ``crash_after``
     hard-kills the process after that many handled messages — the
-    fault-injection hook behind the worker-death tests.
+    fault-injection hook behind the worker-death tests; ``raise_after``
+    is its soft sibling, raising an ordinary exception instead so the
+    ``worker_error`` path (and its recovery) can be exercised end to end.
     """
     from ..core.worker import WorkerActor  # import here: cheap under fork
 
@@ -314,6 +322,10 @@ def _worker_main(
                 return  # normal exit flushes the queue feeder threads
             handled += 1
             actor.handle_message(message)
+            if raise_after is not None and handled >= raise_after:
+                raise RuntimeError(
+                    f"injected worker logic error after {handled} messages"
+                )
             if crash_after is not None and handled >= crash_after:
                 # Simulated hard crash: no goodbye, no shm teardown — the
                 # parent's sweep covers the arena.  The queue feeders are
@@ -392,6 +404,7 @@ class ProcessTransport:
             options.coalesce_max_messages,
         )
         crash = options.crash_worker_after
+        raises = options.raise_worker_after
         try:
             for wid in range(1, n_workers + 1):
                 held = {c for c, ws in placement.items() if wid in ws}
@@ -407,6 +420,9 @@ class ProcessTransport:
                         worker_options,
                         crash[1]
                         if crash is not None and crash[0] == wid
+                        else None,
+                        raises[1]
+                        if raises is not None and raises[0] == wid
                         else None,
                     ),
                     name=f"repro-worker-{wid}",
@@ -490,6 +506,15 @@ class ProcessTransport:
         if self.shm_prefix is not None:
             unlink_segments(list_segments(f"{self.shm_prefix}-w{worker_id}"))
 
+    def begin_shutdown(self) -> None:
+        """Hook: the driver is entering the shutdown phase.
+
+        A no-op here — process exit codes disambiguate clean from crashed
+        regardless of phase.  The socket transport overrides this to start
+        treating a clean EOF (orderly FIN with an empty frame buffer) as
+        exit code 0, which over TCP is the only clean-exit signal there is.
+        """
+
     # -- teardown -------------------------------------------------------
     def shutdown(self, join_timeout: float = 5.0) -> None:
         """Drain and join the pool; escalate terminate → kill. Idempotent.
@@ -552,6 +577,12 @@ class ProcessRuntime(Runtime):
             self.options = dataclasses.replace(
                 self.options, crash_worker_after=parse_kill_spec(kill_spec)
             )
+        raise_spec = os.environ.get(RAISE_ENV)
+        if raise_spec and self.options.raise_worker_after is None:
+            self.options = dataclasses.replace(
+                self.options,
+                raise_worker_after=parse_kill_spec(raise_spec, RAISE_ENV),
+            )
         self._fault_policy = self.options.resolved_fault_policy(self.name)
         self._failures = 0
         start = time.perf_counter()
@@ -560,14 +591,20 @@ class ProcessRuntime(Runtime):
             list(range(1, self.system.n_workers + 1)),
             self.system.column_replication,
         )
-        transport = ProcessTransport(
-            self.system.n_workers, table, placement, self.cost, self.options
-        )
+        transport = self._make_transport(table, placement)
         try:
             report = self._drive(table, jobs, placement, transport, start)
         finally:
             transport.shutdown()
         return report
+
+    def _make_transport(
+        self, table: DataTable, placement: dict[int, list[int]]
+    ) -> ProcessTransport:
+        """Build the run's transport; the socket runtime overrides this."""
+        return ProcessTransport(
+            self.system.n_workers, table, placement, self.cost, self.options
+        )
 
     # ------------------------------------------------------------------
     def _drive(
@@ -618,11 +655,25 @@ class ProcessRuntime(Runtime):
             last_message = time.monotonic()
             payload = message.payload
             if isinstance(payload, WorkerErrorMsg):
-                raise WorkerDiedError(
-                    payload.worker,
-                    1,
-                    f"{payload.error}\n{payload.traceback}",
-                )
+                # A worker-side exception is a worker failure like any
+                # other: under ``recover`` it takes the same
+                # replica-reassignment + tree-revocation path as a hard
+                # crash (the erroring process exits right after shipping
+                # this message); under ``fail_fast`` it surfaces as a
+                # structured error with the remote traceback attached.
+                # An error from an already-recovered worker (liveness
+                # poll won the race) is a straggler; drop it.
+                if payload.worker in live:
+                    self._recover_worker(
+                        transport,
+                        master,
+                        cluster,
+                        live,
+                        payload.worker,
+                        1,
+                        detail=f"{payload.error}\n{payload.traceback}",
+                    )
+                continue
             messages_handled += 1
             master.handle_message(message)
             cluster.engine.drain()
@@ -659,50 +710,69 @@ class ProcessRuntime(Runtime):
         """Liveness poll: apply the fault policy to any dead worker.
 
         Returns True when a crash was recovered from (the caller resets
-        its silence clock).  ``fail_fast`` — and any crash recovery
-        cannot survive: a column losing its last replica, or more than
-        ``max_worker_failures`` crashes — raises
-        :class:`WorkerDiedError`.
+        its silence clock).
         """
         dead = transport.dead_workers()
         if not dead:
             return False
         for wid, code in dead:
-            if self._fault_policy != "recover":
-                raise WorkerDiedError(wid, code)
-            self._failures += 1
-            if self._failures > self.options.max_worker_failures:
-                raise WorkerDiedError(
-                    wid,
-                    code,
-                    f"fault_policy='recover' exhausted: crash number "
-                    f"{self._failures} exceeds max_worker_failures="
-                    f"{self.options.max_worker_failures}",
-                )
-            lost = sorted(
-                col
-                for col, holders in master.holders.items()
-                if set(holders) == {wid}
-            )
-            if lost:
-                raise WorkerDiedError(
-                    wid,
-                    code,
-                    f"columns {lost} have no surviving replica "
-                    f"(column_replication too small for this crash)",
-                )
-            master.on_worker_crashed(wid)
-            cluster.engine.drain()
-            transport.flush()
-            transport.reap_worker(wid)
-            live.discard(wid)
+            self._recover_worker(transport, master, cluster, live, wid, code)
         return True
+
+    def _recover_worker(
+        self,
+        transport: ProcessTransport,
+        master: MasterActor,
+        cluster: LocalCluster,
+        live: set[int],
+        wid: int,
+        code: int,
+        detail: str = "",
+    ) -> None:
+        """Apply the fault policy to one failed worker (crash or error).
+
+        ``fail_fast`` — and any failure recovery cannot survive: a column
+        losing its last replica, or more than ``max_worker_failures``
+        failures — raises :class:`WorkerDiedError`.  Otherwise the dead
+        worker is fed through ``MasterActor.on_worker_crashed`` (replica
+        reassignment + tree revocation), reaped and removed from the live
+        set; training continues on the survivors.
+        """
+        if self._fault_policy != "recover":
+            raise WorkerDiedError(wid, code, detail)
+        self._failures += 1
+        if self._failures > self.options.max_worker_failures:
+            raise WorkerDiedError(
+                wid,
+                code,
+                f"fault_policy='recover' exhausted: failure number "
+                f"{self._failures} exceeds max_worker_failures="
+                f"{self.options.max_worker_failures}",
+            )
+        lost = sorted(
+            col
+            for col, holders in master.holders.items()
+            if set(holders) == {wid}
+        )
+        if lost:
+            raise WorkerDiedError(
+                wid,
+                code,
+                f"columns {lost} have no surviving replica "
+                f"(column_replication too small for this crash)",
+            )
+        master.on_worker_crashed(wid)
+        cluster.engine.drain()
+        transport.flush()
+        transport.reap_worker(wid)
+        live.discard(wid)
 
     # ------------------------------------------------------------------
     def _collect_worker_stats(
         self, transport: ProcessTransport, live: set[int]
     ) -> dict[int, WorkerStatsMsg]:
         """Shutdown phase: every surviving worker reports stats, then exits."""
+        transport.begin_shutdown()
         for wid in sorted(live):
             transport.send(0, wid, MSG_SHUTDOWN, ShutdownMsg(), 0)
         transport.flush()
@@ -725,6 +795,8 @@ class ProcessRuntime(Runtime):
                 continue
             payload = message.payload
             if isinstance(payload, WorkerErrorMsg):
+                if payload.worker not in live:
+                    continue  # straggler of an already-recovered worker
                 raise WorkerDiedError(
                     payload.worker,
                     1,

@@ -1,0 +1,1073 @@
+"""Socket backend: the TreeServer protocol over persistent TCP.
+
+The third substrate behind the :class:`~repro.runtime.base.Transport`
+seam — and the first that can leave one host.  The wire format is
+deliberately minimal: **length-prefixed pickled frames** over persistent
+TCP connections, one connection per worker, with the master as a frame
+hub.
+
+Topology — a hub, not a star of queues:
+
+* the master binds ``RuntimeOptions.listen`` (or a loopback ephemeral
+  port in self-launch mode) and every worker dials in once;
+* a frame is ``(dst: int32, length: uint64, payload)``.  Frames with
+  ``dst == 0`` are decoded by the master; frames addressed to another
+  worker are **relayed verbatim at the frame layer** — the master never
+  unpickles worker-to-worker traffic, so the protocol's rule that the
+  master stays out of the row-id *data* path survives (Section V): it
+  forwards opaque bytes, it never touches content;
+* the payload of a protocol frame is exactly a :class:`QueueFabric`
+  blob (one pickled ``list[Message]``), so the mp backend's pickle-once
+  coalescing is reused unchanged — the socket shims just swap a queue
+  put for one framed send.
+
+Deadlock safety: the master runs one **reader thread** per connection
+which never sends — it routes frames either into the driver inbox or
+into the destination's unbounded writer queue — and one **writer
+thread** per connection which is the only thing that blocks on that
+socket's send buffer.  A slow worker can therefore stall only its own
+writer thread, never the draining of any other connection (the classic
+distributed-buffer deadlock is structurally impossible).
+
+Rendezvous (``docs/PROTOCOL.md``): a dialing worker's first frame is a
+control frame (``dst == -1``) carrying a
+:class:`~repro.core.tasks.WorkerHelloMsg` — worker id, protocol
+version, table fingerprint, host id.  The master collects all ``n``
+valid hellos (rejecting version/table/roster/duplicate mismatches with
+an explanatory unwelcome), then answers every connection with a
+:class:`~repro.core.tasks.WorkerWelcomeMsg` carrying the cluster
+shape, the worker's held columns, the host map and the transport knobs.
+The host map drives the ``ShmSlice`` rule: descriptors are only sent to
+peers whose host id matches the sender's (``WorkerActor.shm_peers``);
+everyone else gets inline row ids.
+
+Trust boundary: frames are **pickle** — this transport is for clusters
+you own, exactly like the paper's deployment.  It performs no
+authentication beyond the rendezvous checks and must not face a hostile
+network.
+
+Failure semantics reuse the mp driver verbatim
+(:class:`SocketRuntime` subclasses
+:class:`~repro.runtime.process.ProcessRuntime` and only swaps the
+transport): half-open or closed sockets surface through the same
+liveness poll into the same ``fault_policy`` path, with
+``WorkerDiedError`` / recover semantics identical to mp.  Over TCP
+there are no exit codes, so a clean EOF (orderly FIN with an empty
+frame buffer) counts as exit 0 only once the driver has entered its
+shutdown phase (:meth:`SocketTransport.begin_shutdown`); any earlier
+EOF is a death.  In self-launch mode the real subprocess exit codes are
+additionally available and take precedence (so the injected
+``CRASH_EXITCODE`` still surfaces).
+
+Parity: the loopback self-launch path trains **bit-identical** models
+to ``sim`` and ``mp`` (pinned by ``tests/test_runtime_socket.py``) —
+same master state machine, same ``min (score, column)`` arbitration,
+same seed-derived randomness.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_module
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+import multiprocessing
+
+from ..cluster.cost import CostModel
+from ..cluster.network import Message
+from ..core.tasks import (
+    MSG_WORKER_ERROR,
+    MSG_WORKER_STATS,
+    SOCKET_PROTOCOL_VERSION,
+    ShutdownMsg,
+    WorkerErrorMsg,
+    WorkerHelloMsg,
+    WorkerStatsMsg,
+    WorkerWelcomeMsg,
+)
+from ..data.shared import (
+    SharedTableHandle,
+    ShmArena,
+    list_segments,
+    new_run_prefix,
+    unlink_segments,
+)
+from ..data.table import DataTable, table_fingerprint
+from .base import RuntimeBackendError, RuntimeOptions, WorkerDiedError
+from .local import LocalCluster
+from .process import (
+    CRASH_EXITCODE,
+    KILL_ENV,
+    RAISE_ENV,
+    ProcessRuntime,
+    QueueFabric,
+    _decode,
+    parse_kill_spec,
+    resolve_start_method,
+)
+
+#: Frame header: ``(dst: int32, payload length: uint64)``, network order.
+FRAME_HEADER = struct.Struct("!iQ")
+
+#: Header ``dst`` of rendezvous control frames (hello / welcome) —
+#: never a machine id, so control and protocol traffic cannot collide.
+CTRL_DST = -1
+
+#: Upper bound on a single frame's payload; anything larger is treated
+#: as stream corruption (a garbage client, not a real peer).
+MAX_FRAME_BYTES = 1 << 40
+
+#: Writer-thread stop sentinel.
+_STOP = object()
+
+
+class HandshakeError(RuntimeBackendError):
+    """The socket rendezvous failed (timeout, rejection, or bad peer)."""
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection.
+
+    ``clean`` distinguishes an orderly FIN on a frame boundary (the
+    receive buffer held no partial frame) from a close mid-frame.
+    """
+
+    def __init__(self, clean: bool) -> None:
+        self.clean = clean
+        super().__init__(
+            "connection closed "
+            + ("cleanly on a frame boundary" if clean else "mid-frame")
+        )
+
+
+def _default_host_id() -> str:
+    """Identify the physical host: hostname plus machine id.
+
+    The hostname alone is not enough — containers routinely share one —
+    so ``/etc/machine-id`` (stable per OS installation) is appended
+    where readable.  Two workers may exchange shm descriptors only when
+    these ids match (``docs/PROTOCOL.md``).
+    """
+    machine = ""
+    try:
+        machine = Path("/etc/machine-id").read_text().strip()
+    except OSError:
+        pass
+    return f"{socket.gethostname()}/{machine[:12]}"
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse ``host:port`` into a connect/bind address."""
+    host, sep, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not sep or not host or not 0 <= port <= 65535:
+        raise ValueError(
+            f"invalid address {text!r}; expected 'host:port', "
+            f"e.g. '0.0.0.0:7733'"
+        )
+    return host, port
+
+
+def _configure_socket(sock: socket.socket) -> None:
+    """Per-connection socket options: low latency, dead-peer probing."""
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+
+
+class FrameStream:
+    """Buffered framed reads and locked framed writes over one socket.
+
+    Reads keep partial bytes across timeouts (a poll-timeout mid-frame
+    resumes where it left off); writes serialize header + payload into
+    one ``sendall`` under a lock so concurrent senders (a writer thread
+    plus a handshake reply, or a worker's main loop plus its error
+    path) cannot interleave frames.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._buffer = bytearray()
+        self._send_lock = threading.Lock()
+
+    def send_frame(self, dst: int, payload: bytes) -> None:
+        """Write one ``(dst, payload)`` frame (thread-safe)."""
+        header = FRAME_HEADER.pack(dst, len(payload))
+        with self._send_lock:
+            self.sock.sendall(header + payload)
+
+    def read_frame(
+        self, timeout: float | None = None
+    ) -> tuple[int, bytes] | None:
+        """Read one frame; ``None`` on poll timeout.
+
+        Raises :class:`ConnectionClosed` on EOF — ``clean`` iff the
+        buffer held no partial frame.
+        """
+        self.sock.settimeout(timeout)
+        try:
+            while len(self._buffer) < FRAME_HEADER.size:
+                self._recv_more()
+            dst, length = FRAME_HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ConnectionClosed(clean=False)
+            total = FRAME_HEADER.size + length
+            while len(self._buffer) < total:
+                self._recv_more()
+            payload = bytes(self._buffer[FRAME_HEADER.size : total])
+            del self._buffer[:total]
+            return dst, payload
+        except TimeoutError:
+            if timeout is None:  # a real ETIMEDOUT, not a poll timeout
+                raise
+            return None
+
+    def _recv_more(self) -> None:
+        chunk = self.sock.recv(1 << 16)
+        if not chunk:
+            raise ConnectionClosed(clean=not self._buffer)
+        self._buffer += chunk
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close races are benign
+            pass
+
+
+def _send_ctrl(stream: FrameStream, message: Any) -> None:
+    """Ship one handshake dataclass as a control frame."""
+    stream.send_frame(
+        CTRL_DST, pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
+def _read_ctrl(stream: FrameStream, timeout: float, expected: type) -> Any:
+    """Read one control frame of the expected handshake type, or ``None``."""
+    try:
+        frame = stream.read_frame(timeout=timeout)
+    except (ConnectionClosed, OSError):
+        return None
+    if frame is None or frame[0] != CTRL_DST:
+        return None
+    try:
+        message = pickle.loads(frame[1])
+    except Exception:
+        return None
+    return message if isinstance(message, expected) else None
+
+
+# ----------------------------------------------------------------------
+# queue shims: what QueueFabric talks to on each side of the wire
+# ----------------------------------------------------------------------
+class _SocketQueue:
+    """Worker-side shim: ``put(blob)`` -> one framed send towards ``dst``.
+
+    Every destination rides the single connection to the master hub,
+    which relays by header.  A send failing because the master vanished
+    is dropped — the worker's event loop notices the EOF next time it
+    reads and exits as orphaned, mirroring a dead mp queue.
+    """
+
+    def __init__(self, stream: FrameStream, dst: int) -> None:
+        self._stream = stream
+        self._dst = dst
+
+    def put(self, blob: bytes) -> None:
+        try:
+            self._stream.send_frame(self._dst, blob)
+        except OSError:
+            pass  # master gone; orphan exit follows on the next read
+
+    def close(self) -> None:
+        """Fabric teardown hook; the stream is owned elsewhere."""
+
+    def cancel_join_thread(self) -> None:
+        """No feeder threads exist on a socket shim."""
+
+
+class _LocalQueue:
+    """Self-send shim: the worker's messages to itself skip the wire.
+
+    Without this every ``row_request`` a worker answers from its own
+    delegate store would round-trip through the master hub.
+    """
+
+    def __init__(self, inbox: queue_module.SimpleQueue) -> None:
+        self._inbox = inbox
+
+    def put(self, blob: bytes) -> None:
+        self._inbox.put(blob)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def cancel_join_thread(self) -> None:
+        """No feeder threads exist on a local shim."""
+
+
+class _InboxQueue:
+    """Master-side shim for destination 0: straight into the driver inbox."""
+
+    def __init__(self, inbox: queue_module.SimpleQueue) -> None:
+        self._inbox = inbox
+
+    def put(self, blob: bytes) -> None:
+        self._inbox.put(blob)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def cancel_join_thread(self) -> None:
+        """No feeder threads exist on a local shim."""
+
+
+class _RelaySender:
+    """Master-side shim for a worker destination: enqueue to its writer.
+
+    Looks the writer queue up per put so a send towards a reaped worker
+    is silently dropped — the socket equivalent of mp's drained dead
+    inbox.
+    """
+
+    def __init__(self, transport: "SocketTransport", dst: int) -> None:
+        self._transport = transport
+        self._dst = dst
+
+    def put(self, blob: bytes) -> None:
+        writer = self._transport._writers.get(self._dst)
+        if writer is not None:
+            writer.put(blob)
+
+    def close(self) -> None:
+        """Writer threads are stopped by the transport's shutdown."""
+
+    def cancel_join_thread(self) -> None:
+        """No feeder threads exist on a relay shim."""
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _run_socket_worker(
+    stream: FrameStream,
+    welcome: WorkerWelcomeMsg,
+    worker_id: int,
+    table: DataTable,
+    host_id: str,
+    crash_after: int | None,
+    raise_after: int | None,
+    attached_nbytes: int = 0,
+) -> int:
+    """Post-handshake worker event loop; returns the process exit code.
+
+    Mirrors ``process._worker_main``: pump frames from the master hub
+    (plus the local self-send queue) into the unmodified
+    :class:`~repro.core.worker.WorkerActor`, flush the fabric whenever
+    idle, answer the shutdown broadcast with a stats report, ship any
+    exception home as a ``worker_error`` frame, and honour the two
+    fault-injection hooks.  A master-side EOF means the run is over
+    without us (driver died or reaped us) — exit quietly like an
+    orphaned mp worker.
+    """
+    from ..core.worker import WorkerActor
+
+    n_workers = welcome.n_workers
+    local: queue_module.SimpleQueue = queue_module.SimpleQueue()
+    queues: list[Any] = [
+        _LocalQueue(local) if dst == worker_id else _SocketQueue(stream, dst)
+        for dst in range(n_workers + 1)
+    ]
+    fabric = QueueFabric(queues, max_batch=welcome.coalesce_max_messages)
+    arena = None
+    actor = None
+    cluster = None
+    try:
+        if welcome.shm_prefix is not None:
+            arena = ShmArena(f"{welcome.shm_prefix}-w{worker_id}")
+        shm_peers = {
+            wid
+            for wid, peer_host in welcome.host_map.items()
+            if wid != 0 and peer_host == host_id
+        }
+        cost = welcome.cost
+        assert isinstance(cost, CostModel)
+        cluster = LocalCluster(n_workers, cost, fabric)
+        actor = WorkerActor(
+            cluster,
+            worker_id,
+            table,
+            set(welcome.held_columns),
+            arena=arena,
+            shm_threshold_bytes=welcome.shm_threshold_bytes,
+            shm_peers=shm_peers,
+        )
+        machine = cluster.machines[worker_id]
+        pending: deque[Message] = deque()
+        handled = 0
+        while True:
+            if not pending:
+                fabric.flush()  # idle: everything buffered goes out now
+                try:
+                    blob: Any = local.get_nowait()
+                except queue_module.Empty:
+                    try:
+                        frame = stream.read_frame(
+                            timeout=welcome.poll_interval_seconds
+                        )
+                    except (ConnectionClosed, OSError):
+                        return 0  # master gone; we are orphaned
+                    if frame is None:
+                        continue
+                    blob = frame[1]
+                pending.extend(_decode(blob))
+                continue
+            message = pending.popleft()
+            if isinstance(message.payload, ShutdownMsg):
+                stats = WorkerStatsMsg(
+                    worker=worker_id,
+                    outstanding=actor.outstanding_state(),
+                    mem_task_bytes=machine.stats.mem_task_bytes,
+                    mem_task_peak=machine.stats.mem_task_peak,
+                    mem_base_bytes=machine.stats.mem_base_bytes,
+                    messages_handled=handled,
+                    messages_sent=cluster.messages_sent,
+                    ops_executed=machine.stats.ops_executed,
+                    bytes_by_kind=dict(cluster.bytes_by_kind),
+                    bytes_pickled=fabric.bytes_pickled,
+                    shm_bytes_mapped=attached_nbytes
+                    + (arena.bytes_read if arena is not None else 0),
+                    coalesced_batches=fabric.coalesced_batches,
+                    revoked_trees_seen=actor.revoked_trees_seen,
+                    stale_shm_drops=actor.stale_shm_drops,
+                )
+                fabric.send(worker_id, 0, MSG_WORKER_STATS, stats, 0)
+                fabric.flush()
+                return 0
+            handled += 1
+            actor.handle_message(message)
+            if raise_after is not None and handled >= raise_after:
+                raise RuntimeError(
+                    f"injected worker logic error after {handled} messages"
+                )
+            if crash_after is not None and handled >= crash_after:
+                # Simulated hard crash.  Unlike mp queues, a socket
+                # shares no cross-process locks or byte streams — bytes
+                # already handed to the kernel are delivered, buffered
+                # fabric sends die with us — so no draining is needed;
+                # ``os._exit`` is already clean at the transport layer.
+                os._exit(CRASH_EXITCODE)
+    except BaseException as exc:  # noqa: BLE001 - ship any failure home
+        import traceback as traceback_module
+
+        error = WorkerErrorMsg(
+            worker=worker_id,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_module.format_exc(),
+        )
+        try:
+            stream.send_frame(
+                0,
+                pickle.dumps(
+                    [Message(worker_id, 0, MSG_WORKER_ERROR, error, 0)],
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ),
+            )
+        except OSError:
+            pass  # the master is gone too; nothing to report to
+        return 1
+    finally:
+        # Release the shm footprint: drop array references first so the
+        # mmaps can unmap, then unlink what this process owns.
+        actor = None
+        cluster = None
+        table = None  # noqa: F841 - deliberate reference drop
+        if arena is not None:
+            arena.close()
+        stream.close()
+
+
+def _dial_and_run(
+    address: tuple[str, int],
+    worker_id: int,
+    table: DataTable,
+    *,
+    host_id: str | None = None,
+    crash_after: int | None = None,
+    raise_after: int | None = None,
+    attached_nbytes: int = 0,
+    handshake_timeout: float = 60.0,
+) -> int:
+    """Dial the master, run the rendezvous handshake, then the event loop.
+
+    Raises :class:`HandshakeError` when the master rejects the hello or
+    the welcome never arrives; otherwise returns the worker's exit code.
+    """
+    resolved_host = host_id or _default_host_id()
+    sock = socket.create_connection(address, timeout=handshake_timeout)
+    _configure_socket(sock)
+    stream = FrameStream(sock)
+    try:
+        _send_ctrl(
+            stream,
+            WorkerHelloMsg(
+                worker_id=worker_id,
+                protocol_version=SOCKET_PROTOCOL_VERSION,
+                table_hash=table_fingerprint(table),
+                host_id=resolved_host,
+                pid=os.getpid(),
+            ),
+        )
+        welcome = _read_ctrl(stream, handshake_timeout, WorkerWelcomeMsg)
+        if welcome is None:
+            raise HandshakeError(
+                f"worker {worker_id}: no welcome from master at "
+                f"{address[0]}:{address[1]} within {handshake_timeout:.0f}s"
+            )
+        if not welcome.ok:
+            raise HandshakeError(
+                f"master rejected worker {worker_id}: {welcome.error}"
+            )
+    except BaseException:
+        stream.close()
+        raise
+    return _run_socket_worker(
+        stream,
+        welcome,
+        worker_id,
+        table,
+        resolved_host,
+        crash_after,
+        raise_after,
+        attached_nbytes,
+    )
+
+
+def connect_worker(
+    address: str | tuple[str, int],
+    worker_id: int,
+    table: DataTable,
+    *,
+    host_id: str | None = None,
+    handshake_timeout: float = 60.0,
+) -> int:
+    """Join a listening socket master as one worker (``repro worker``).
+
+    Dials ``address``, handshakes, runs the worker event loop until the
+    shutdown broadcast, and returns the exit code.  Honours the same
+    fault-injection env hooks as the mp backend (:data:`KILL_ENV`,
+    :data:`RAISE_ENV`) when the spec names this worker id — they are
+    read *here*, on the worker's own machine, because a remote master
+    has no way to inject a local crash.
+    """
+    if isinstance(address, str):
+        address = parse_address(address)
+    crash_after = raise_after = None
+    kill_spec = os.environ.get(KILL_ENV)
+    if kill_spec:
+        wid, after = parse_kill_spec(kill_spec)
+        if wid == worker_id:
+            crash_after = after
+    raise_spec = os.environ.get(RAISE_ENV)
+    if raise_spec:
+        wid, after = parse_kill_spec(raise_spec, RAISE_ENV)
+        if wid == worker_id:
+            raise_after = after
+    return _dial_and_run(
+        address,
+        worker_id,
+        table,
+        host_id=host_id,
+        crash_after=crash_after,
+        raise_after=raise_after,
+        handshake_timeout=handshake_timeout,
+    )
+
+
+def _launched_worker_main(
+    address: tuple[str, int],
+    worker_id: int,
+    table_ref: "DataTable | SharedTableHandle",
+    crash_after: int | None,
+    raise_after: int | None,
+) -> None:
+    """Subprocess entry of the loopback self-launch mode.
+
+    The same dial-in path an external ``repro worker`` takes — the
+    only difference is where the table comes from: a handle to attach
+    (shm data plane) or the inherited/pickled table itself.
+    """
+    attached = None
+    code = 1
+    try:
+        if isinstance(table_ref, SharedTableHandle):
+            attached = table_ref.attach()
+            table = attached.table
+            nbytes = attached.nbytes
+        else:
+            table = table_ref
+            nbytes = 0
+        code = _dial_and_run(
+            address,
+            worker_id,
+            table,
+            crash_after=crash_after,
+            raise_after=raise_after,
+            attached_nbytes=nbytes,
+        )
+    finally:
+        table = None  # noqa: F841 - drop views before closing segments
+        if attached is not None:
+            attached.close()
+    if code:
+        raise SystemExit(code)
+
+
+# ----------------------------------------------------------------------
+# master side
+# ----------------------------------------------------------------------
+class SocketTransport:
+    """The master hub: listener, rendezvous, relay threads, liveness.
+
+    Driver-facing surface is identical to
+    :class:`~repro.runtime.process.ProcessTransport` (``send`` /
+    ``flush`` / ``recv_master`` / ``dead_workers`` / ``check_alive`` /
+    ``reap_worker`` / ``begin_shutdown`` / ``shutdown`` / ``close`` plus
+    the ``fabric`` / ``shm_prefix`` / ``start_method`` attributes), so
+    :class:`SocketRuntime` reuses the whole mp driver loop unchanged.
+
+    Two modes, chosen by ``RuntimeOptions.listen``:
+
+    * ``None`` — **self-launch**: bind a loopback ephemeral port and
+      spawn the workers as local subprocesses that dial back in.  CI's
+      socket path, pinned bit-identical to sim/mp; the shm data plane
+      works in full (one host by construction) and real subprocess exit
+      codes back the liveness poll.
+    * ``"host:port"`` — **external**: bind the given address and wait
+      ``rendezvous_timeout_seconds`` for ``n_workers`` ``repro worker``
+      clients.  Fault injection via ``crash_worker_after`` /
+      ``raise_worker_after`` is ignored in this mode (a remote master
+      cannot reach into a worker it did not start — use the env hooks
+      on the worker's own machine); the arena sweep on ``reap_worker``
+      only reaches same-host segments, remote hosts clean their own on
+      exit.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        table: DataTable,
+        placement: dict[int, list[int]],
+        cost: CostModel,
+        options: RuntimeOptions,
+    ) -> None:
+        self.n_workers = n_workers
+        self.options = options
+        self.host_id = _default_host_id()
+        self.table_hash = table_fingerprint(table)
+        self.shm_prefix: str | None = None
+        self.table_handle: SharedTableHandle | None = None
+        self.processes: dict[int, Any] = {}
+        self._inbox: queue_module.SimpleQueue = queue_module.SimpleQueue()
+        self._pending_master: list[Message] = []
+        self._writers: dict[int, queue_module.SimpleQueue] = {}
+        self._threads: list[threading.Thread] = []
+        self._conns: dict[int, FrameStream] = {}
+        self._closed: dict[int, bool] = {}
+        self._reaped: set[int] = set()
+        self._lock = threading.Lock()
+        self._shutdown_started = False
+        self._listener: socket.socket | None = None
+        self.fabric = QueueFabric(
+            [_InboxQueue(self._inbox)]
+            + [_RelaySender(self, wid) for wid in range(1, n_workers + 1)],
+            max_batch=options.coalesce_max_messages,
+        )
+        self._launch = options.listen is None
+        if self._launch:
+            self.start_method = resolve_start_method(options.start_method)
+            bind_address = ("127.0.0.1", 0)
+        else:
+            self.start_method = "external"
+            bind_address = parse_address(options.listen)
+        try:
+            self._listener = socket.create_server(
+                bind_address, backlog=n_workers + 2
+            )
+            self.address: tuple[str, int] = self._listener.getsockname()[:2]
+            if options.use_shm:
+                self.shm_prefix = new_run_prefix()
+                if self._launch:
+                    self.table_handle = SharedTableHandle.create(
+                        table, f"{self.shm_prefix}-t"
+                    )
+            if self._launch:
+                self._launch_workers(table)
+            held = {
+                wid: tuple(
+                    sorted(c for c, ws in placement.items() if wid in ws)
+                )
+                for wid in range(1, n_workers + 1)
+            }
+            self._rendezvous(held, cost)
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # -- start-up -------------------------------------------------------
+    def _launch_workers(self, table: DataTable) -> None:
+        """Self-launch mode: spawn local subprocesses that dial back in."""
+        context = multiprocessing.get_context(self.start_method)
+        table_ref: DataTable | SharedTableHandle = (
+            self.table_handle if self.table_handle is not None else table
+        )
+        crash = self.options.crash_worker_after
+        raises = self.options.raise_worker_after
+        for wid in range(1, self.n_workers + 1):
+            process = context.Process(
+                target=_launched_worker_main,
+                args=(
+                    self.address,
+                    wid,
+                    table_ref,
+                    crash[1] if crash is not None and crash[0] == wid else None,
+                    raises[1]
+                    if raises is not None and raises[0] == wid
+                    else None,
+                ),
+                name=f"repro-socket-worker-{wid}",
+                daemon=True,
+            )
+            process.start()
+            self.processes[wid] = process
+
+    def _rendezvous(
+        self, held: dict[int, tuple[int, ...]], cost: CostModel
+    ) -> None:
+        """Collect ``n_workers`` valid hellos, then welcome all at once.
+
+        The welcome is a barrier on purpose: no worker computes anything
+        before the full roster is present, so a failed rendezvous can
+        never leave a half-started run.  An invalid hello (wrong
+        protocol version, mismatched table hash, duplicate or
+        out-of-range worker id, host not on the ``expected_hosts``
+        roster, or plain garbage) gets an explanatory unwelcome and its
+        connection closed; it does not count towards the roster.
+        """
+        deadline = time.monotonic() + self.options.rendezvous_timeout_seconds
+        hellos: dict[int, tuple[WorkerHelloMsg, FrameStream]] = {}
+        expected = set(range(1, self.n_workers + 1))
+        while len(hellos) < self.n_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise HandshakeError(
+                    f"rendezvous timed out after "
+                    f"{self.options.rendezvous_timeout_seconds:.0f}s; "
+                    f"missing workers {sorted(expected - set(hellos))}"
+                )
+            self._listener.settimeout(remaining)
+            try:
+                sock, _peer = self._listener.accept()
+            except TimeoutError:
+                continue
+            _configure_socket(sock)
+            stream = FrameStream(sock)
+            hello = _read_ctrl(
+                stream, max(0.1, min(remaining, 30.0)), WorkerHelloMsg
+            )
+            error = self._validate_hello(hello, hellos)
+            if error is not None:
+                try:
+                    _send_ctrl(stream, WorkerWelcomeMsg(ok=False, error=error))
+                except OSError:
+                    pass
+                stream.close()
+                continue
+            hellos[hello.worker_id] = (hello, stream)
+        host_map = {0: self.host_id} | {
+            wid: hello.host_id for wid, (hello, _) in hellos.items()
+        }
+        # Writer queues first: a relay towards a worker whose threads are
+        # not up yet must queue, never drop.
+        for wid in hellos:
+            self._writers[wid] = queue_module.SimpleQueue()
+        for wid in sorted(hellos):
+            hello, stream = hellos[wid]
+            _send_ctrl(
+                stream,
+                WorkerWelcomeMsg(
+                    ok=True,
+                    n_workers=self.n_workers,
+                    held_columns=held[wid],
+                    host_map=host_map,
+                    shm_prefix=self.shm_prefix,
+                    shm_threshold_bytes=self.options.shm_threshold_bytes,
+                    coalesce_max_messages=self.options.coalesce_max_messages,
+                    poll_interval_seconds=self.options.poll_interval_seconds,
+                    cost=cost,
+                ),
+            )
+            stream.sock.settimeout(None)
+            self._conns[wid] = stream
+            writer = threading.Thread(
+                target=self._writer_loop,
+                args=(wid, self._writers[wid], stream),
+                name=f"repro-socket-writer-{wid}",
+                daemon=True,
+            )
+            reader = threading.Thread(
+                target=self._reader_loop,
+                args=(wid, stream),
+                name=f"repro-socket-reader-{wid}",
+                daemon=True,
+            )
+            writer.start()
+            reader.start()
+            self._threads += [writer, reader]
+
+    def _validate_hello(
+        self,
+        hello: WorkerHelloMsg | None,
+        hellos: dict[int, tuple[WorkerHelloMsg, FrameStream]],
+    ) -> str | None:
+        """Admission checks of one hello; a string is the rejection reason."""
+        if hello is None:
+            return "malformed or missing hello frame"
+        if hello.protocol_version != SOCKET_PROTOCOL_VERSION:
+            return (
+                f"protocol version mismatch: master speaks "
+                f"{SOCKET_PROTOCOL_VERSION}, worker spoke "
+                f"{hello.protocol_version}"
+            )
+        if not 1 <= hello.worker_id <= self.n_workers:
+            return (
+                f"worker id {hello.worker_id} out of range 1.."
+                f"{self.n_workers}"
+            )
+        if hello.worker_id in hellos:
+            return f"worker id {hello.worker_id} already joined"
+        if hello.table_hash != self.table_hash:
+            return (
+                "table fingerprint mismatch: the worker's data is not "
+                "byte-identical to the master's (exact training would "
+                "silently diverge)"
+            )
+        roster = self.options.expected_hosts
+        if roster is not None and hello.host_id not in roster:
+            return (
+                f"host {hello.host_id!r} is not on the expected_hosts "
+                f"roster"
+            )
+        return None
+
+    # -- relay threads --------------------------------------------------
+    def _writer_loop(
+        self, wid: int, writer: queue_module.SimpleQueue, stream: FrameStream
+    ) -> None:
+        """Sole sender on one connection; drains even after it breaks."""
+        broken = False
+        while True:
+            item = writer.get()
+            if item is _STOP:
+                return
+            if broken:
+                continue  # peer is gone; drop, recovery owns the cleanup
+            try:
+                stream.send_frame(wid, item)
+            except OSError:
+                broken = True
+
+    def _reader_loop(self, wid: int, stream: FrameStream) -> None:
+        """Route frames from one worker; never blocks on a send."""
+        clean = False
+        try:
+            while True:
+                frame = stream.read_frame(timeout=None)
+                if frame is None:  # pragma: no cover - None needs a timeout
+                    continue
+                dst, payload = frame
+                if dst == 0:
+                    self._inbox.put(payload)
+                elif dst > 0:
+                    writer = self._writers.get(dst)
+                    if writer is not None:
+                        writer.put(payload)
+                # Control frames after the handshake are ignored.
+        except ConnectionClosed as closed:
+            clean = closed.clean
+        except OSError:
+            clean = False
+        with self._lock:
+            self._closed[wid] = clean
+
+    # -- driver-side sends / receives -----------------------------------
+    def send(
+        self, src: int, dst: int, kind: str, payload: Any, size_bytes: int
+    ) -> None:
+        """Transport interface: master-side send towards any machine."""
+        self.fabric.send(src, dst, kind, payload, size_bytes)
+
+    def flush(self) -> None:
+        """Transport interface: push buffered master-side sends out."""
+        self.fabric.flush()
+
+    def recv_master(self, timeout: float) -> Message:
+        """Blocking receive from the driver inbox (raises ``queue.Empty``).
+
+        Receiving means the driver is about to go idle, so buffered
+        sends are flushed first — the flush-on-idle rule.
+        """
+        self.fabric.flush()
+        if not self._pending_master:
+            self._pending_master.extend(
+                _decode(self._inbox.get(timeout=timeout))
+            )
+        return self._pending_master.pop(0)
+
+    # -- liveness -------------------------------------------------------
+    def _exit_code(self, wid: int, clean: bool) -> int:
+        """Best-available exit code for a closed connection.
+
+        Self-launch mode asks the real subprocess (so the injected
+        ``CRASH_EXITCODE`` survives); over a bare socket the only signal
+        is the EOF itself — clean counts as 0 only in the shutdown
+        phase, anything earlier is a death (code 1).
+        """
+        process = self.processes.get(wid)
+        if process is not None:
+            process.join(timeout=5.0)
+            if process.exitcode is not None:
+                return process.exitcode
+        return 0 if (clean and self._shutdown_started) else 1
+
+    def dead_workers(
+        self, allow_clean_exit: bool = False
+    ) -> list[tuple[int, int]]:
+        """Worker ids (with exit codes) whose connections have closed.
+
+        ``allow_clean_exit`` tolerates exit code 0 (the shutdown phase,
+        where workers legitimately finish after reporting their stats).
+        Already-reaped workers are not listed.
+        """
+        with self._lock:
+            closed = [
+                (wid, clean)
+                for wid, clean in self._closed.items()
+                if wid not in self._reaped
+            ]
+        dead = []
+        for wid, clean in closed:
+            code = self._exit_code(wid, clean)
+            if allow_clean_exit and code == 0:
+                continue
+            dead.append((wid, code))
+        return dead
+
+    def check_alive(self, allow_clean_exit: bool = False) -> None:
+        """Raise :class:`WorkerDiedError` if any worker connection died."""
+        dead = self.dead_workers(allow_clean_exit)
+        if dead:
+            raise WorkerDiedError(*dead[0])
+
+    def reap_worker(self, worker_id: int) -> None:
+        """Retire a dead worker the run is recovering from.
+
+        Stops its writer thread, closes its connection (frames towards
+        it become silent drops in :class:`_RelaySender`), joins its
+        subprocess in self-launch mode, and sweeps its shm arena
+        segments — which only reaches segments on this host; a remote
+        worker's host cleans its own on exit.
+        """
+        self._reaped.add(worker_id)
+        process = self.processes.pop(worker_id, None)
+        if process is not None:
+            process.join(timeout=5.0)
+        writer = self._writers.pop(worker_id, None)
+        if writer is not None:
+            writer.put(_STOP)
+        stream = self._conns.pop(worker_id, None)
+        if stream is not None:
+            stream.close()
+        if self.shm_prefix is not None:
+            unlink_segments(
+                list_segments(f"{self.shm_prefix}-w{worker_id}")
+            )
+
+    def begin_shutdown(self) -> None:
+        """Driver hook: clean EOFs from here on count as exit code 0."""
+        self._shutdown_started = True
+
+    # -- teardown -------------------------------------------------------
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Close everything down; escalate terminate → kill. Idempotent.
+
+        Connections close first (workers see EOF and exit as orphans),
+        then self-launch subprocesses are joined and escalated, then
+        every shm segment of the run is removed — the table image is
+        unlinked and the run prefix swept, reclaiming arena segments of
+        workers that died without cleaning up.
+        """
+        self._shutdown_started = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - close races are benign
+                pass
+            self._listener = None
+        for writer in self._writers.values():
+            writer.put(_STOP)
+        self._writers = {}
+        for stream in self._conns.values():
+            stream.close()
+        self._conns = {}
+        for thread in self._threads:
+            thread.join(timeout=join_timeout)
+        self._threads = []
+        for process in self.processes.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes.values():
+            process.join(timeout=join_timeout)
+            if process.is_alive():  # pragma: no cover - stuck in C code
+                process.kill()
+                process.join(timeout=join_timeout)
+        self.processes = {}
+        self.fabric.close()
+        if self.table_handle is not None:
+            self.table_handle.unlink()
+            self.table_handle = None
+        if self.shm_prefix is not None:
+            unlink_segments(list_segments(self.shm_prefix))
+
+    def close(self) -> None:
+        """Transport interface alias for :meth:`shutdown`."""
+        self.shutdown()
+
+
+class SocketRuntime(ProcessRuntime):
+    """Training over TCP: the mp driver loop on the socket transport.
+
+    Everything above the transport — the master event loop, fault
+    policies, recovery, shutdown invariants, cluster report — is
+    inherited from :class:`~repro.runtime.process.ProcessRuntime`
+    unchanged; only the substrate the messages ride differs.
+    """
+
+    name = "socket"
+
+    def _make_transport(
+        self, table: DataTable, placement: dict[int, list[int]]
+    ) -> SocketTransport:
+        return SocketTransport(
+            self.system.n_workers, table, placement, self.cost, self.options
+        )

@@ -530,6 +530,78 @@ class TestCrashRecovery:
         with pytest.raises(ValueError, match="max_worker_failures"):
             RuntimeOptions(max_worker_failures=-1)
 
+    def test_runtime_options_reject_nonsense_values(self):
+        """Bad knob values fail at construction, not as a mid-run hang."""
+        with pytest.raises(ValueError, match="coalesce_max_messages"):
+            RuntimeOptions(coalesce_max_messages=0)
+        with pytest.raises(ValueError, match="shm_threshold_bytes"):
+            RuntimeOptions(shm_threshold_bytes=-1)
+        with pytest.raises(ValueError, match="message_timeout_seconds"):
+            RuntimeOptions(message_timeout_seconds=0.0)
+        with pytest.raises(ValueError, match="poll_interval_seconds"):
+            RuntimeOptions(poll_interval_seconds=-0.5)
+        with pytest.raises(ValueError, match="rendezvous_timeout_seconds"):
+            RuntimeOptions(rendezvous_timeout_seconds=0.0)
+        with pytest.raises(ValueError, match="crash_worker_after"):
+            RuntimeOptions(crash_worker_after=(1, -2))
+        with pytest.raises(ValueError, match="raise_worker_after"):
+            RuntimeOptions(raise_worker_after=(-1, 2))
+        # Boundary values stay legal.
+        RuntimeOptions(
+            coalesce_max_messages=1,
+            shm_threshold_bytes=0,
+            crash_worker_after=(0, 0),
+            raise_worker_after=(0, 0),
+        )
+
+    @pytest.mark.parametrize("via_env", [False, True], ids=["option", "env"])
+    def test_worker_exception_recovers_like_a_crash(self, via_env, monkeypatch):
+        """A worker-side logic error under fault_policy="recover" routes
+        through the same reassignment/revocation path as a hard kill —
+        the run completes bit-identical to the undisturbed sim model."""
+        table = _table()
+        jobs = self._jobs()
+        reference = _fit("sim", table, jobs).trees("rf")
+        monkeypatch.delenv("REPRO_MP_RAISE", raising=False)
+        if via_env:
+            monkeypatch.setenv("REPRO_MP_RAISE", "2:6")
+            options = _options(fault_policy="recover")
+        else:
+            options = _options(
+                fault_policy="recover", raise_worker_after=(2, 6)
+            )
+        report = _fit_with(table, jobs, options)
+        assert_bit_identical(reference, report.trees("rf"))
+        assert report.counters.recovered_workers == 1
+        assert report.cluster.transport["recovered_workers"] == 1
+        assert 2 not in report.cluster.transport["per_worker"]
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+    def test_worker_exception_fail_fast_carries_detail(self):
+        """Under fail_fast a worker_error is a WorkerDiedError too — never
+        a silent continuation — and it carries the remote traceback."""
+        table = _table()
+        options = _options(
+            message_timeout_seconds=10.0,
+            fault_policy="fail_fast",
+            raise_worker_after=(2, 6),
+        )
+        with pytest.raises(WorkerDiedError) as info:
+            _fit_with(table, self._jobs(), options)
+        assert info.value.worker_id == 2
+        assert "injected worker logic error" in str(info.value)
+        assert "Traceback" in str(info.value)
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+    def test_raise_env_spec_validation(self):
+        from repro.runtime.process import RAISE_ENV, parse_kill_spec
+
+        assert parse_kill_spec("3:7", RAISE_ENV) == (3, 7)
+        with pytest.raises(ValueError, match="REPRO_MP_RAISE"):
+            parse_kill_spec("nope", RAISE_ENV)
+
     def test_cli_recover_trains_same_model_as_sim(self, tmp_path, monkeypatch):
         """`repro train --backend mp --fault-policy recover` under the
         REPRO_MP_KILL hook completes and matches the sim model bytes."""

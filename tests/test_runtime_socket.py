@@ -1,0 +1,546 @@
+"""The socket runtime: parity, rendezvous, recovery, shutdown hygiene.
+
+The headline guarantee mirrors the mp suite: ``TreeServer(...,
+backend="socket")`` — the protocol over length-prefixed pickled frames
+on persistent TCP, master as frame hub — trains forests **bit-identical**
+to the simulator and the mp backend on the same table, config and seed,
+with the shared-memory data plane on and off, and even when a worker is
+hard-killed mid-run under ``fault_policy="recover"``.
+
+The socket-only surface is pinned here too: the rendezvous handshake
+rejects bad peers (wrong protocol version, mismatched table fingerprint,
+out-of-range or duplicate worker ids, hosts missing from the roster)
+with explanatory unwelcomes while letting the real roster through, the
+external ``--listen`` / ``repro worker`` mode works with per-host shm
+gating (different host ids fall back to inline row ids), a half-open
+socket surfaces as :class:`WorkerDiedError` within the timeout, and a
+finished run leaks neither subprocesses, shm segments, nor sockets.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import os
+import socket as socket_module
+import threading
+
+import pytest
+
+from repro import SystemConfig, TreeConfig, TreeServer, random_forest_job, trees_equal
+from repro.datasets import dataset_spec, generate
+from repro.runtime import (
+    ProcessRuntime,
+    RuntimeOptions,
+    SocketRuntime,
+    WorkerDiedError,
+    create_runtime,
+)
+from repro.runtime.socket import (
+    CTRL_DST,
+    SOCKET_PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameStream,
+    HandshakeError,
+    connect_worker,
+    parse_address,
+)
+
+#: CI runs this suite twice — REPRO_MP_SHM=1 and =0 — exactly like the mp
+#: suite, so the parity pins cover both data planes.
+SHM_DEFAULT = os.environ.get("REPRO_MP_SHM", "1").lower() not in (
+    "0", "off", "false",
+)
+
+
+def _options(**kw) -> RuntimeOptions:
+    kw.setdefault("message_timeout_seconds", 15.0)
+    kw.setdefault("poll_interval_seconds", 0.02)
+    kw.setdefault("use_shm", SHM_DEFAULT)
+    return RuntimeOptions(**kw)
+
+
+def _table(name="higgs_boson"):
+    return generate(dataset_spec(name, small=True))
+
+
+def _system(n_workers=3, **kw):
+    table_rows = kw.pop("table_rows", 700)
+    return SystemConfig(
+        n_workers=n_workers, compers_per_worker=2, **kw
+    ).scaled_to(table_rows)
+
+
+def _fit(backend, table, jobs, n_workers=3, options=None):
+    server = TreeServer(
+        _system(n_workers, table_rows=table.n_rows),
+        backend=backend,
+        runtime_options=options or _options(),
+    )
+    return server.fit(table, jobs)
+
+
+def assert_bit_identical(expected, got):
+    assert len(expected) == len(got)
+    for a, b in zip(expected, got):
+        assert trees_equal(a, b)
+        assert a.to_dict() == b.to_dict()
+
+
+def _repro_segments():
+    from repro.data.shared import list_segments
+
+    return list_segments()
+
+
+def _open_socket_count() -> int:
+    """Sockets currently open in this process (Linux procfs)."""
+    count = 0
+    for fd in os.listdir("/proc/self/fd"):
+        try:
+            if os.readlink(f"/proc/self/fd/{fd}").startswith("socket:"):
+                count += 1
+        except OSError:
+            continue
+    return count
+
+
+def _free_port() -> int:
+    with socket_module.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _dial(port, deadline_seconds=10.0) -> FrameStream:
+    """Connect to a master that may still be binding its listener."""
+    import time
+
+    deadline = time.monotonic() + deadline_seconds
+    while True:
+        try:
+            return FrameStream(
+                socket_module.create_connection(("127.0.0.1", port), timeout=10)
+            )
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.02)
+
+
+# ----------------------------------------------------------------------
+# parity: the acceptance pin
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_three_worker_loopback_matches_sim_and_mp(self):
+        """One model, three substrates — with and without shm."""
+        table = _table()
+        jobs = [random_forest_job("rf", 4, TreeConfig(max_depth=8), seed=5)]
+        reference = _fit("sim", table, jobs).trees("rf")
+        for use_shm in (True, False):
+            options = _options(use_shm=use_shm)
+            mp_trees = _fit("mp", table, jobs, options=options).trees("rf")
+            sock = _fit("socket", table, jobs, options=options)
+            assert_bit_identical(reference, mp_trees)
+            assert_bit_identical(reference, sock.trees("rf"))
+            assert sock.backend == "socket"
+            assert sock.wall_seconds > 0
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+    def test_transport_counters_and_no_leaked_sockets(self):
+        sockets_before = _open_socket_count()
+        table = _table("covtype")
+        jobs = [random_forest_job("rf", 2, TreeConfig(max_depth=6), seed=1)]
+        report = _fit("socket", table, jobs, n_workers=2)
+        transport = report.cluster.transport
+        assert transport["start_method"] != "external"  # self-launch mode
+        assert transport["messages_sent"] > 0
+        assert transport["bytes_pickled"] > 0
+        assert set(transport["per_worker"]) == {1, 2}
+        # Listener, per-worker connections and worker ends are all closed.
+        assert _open_socket_count() <= sockets_before
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+
+# ----------------------------------------------------------------------
+# rendezvous: external mode, admission checks, timeout
+# ----------------------------------------------------------------------
+class TestRendezvous:
+    def test_external_mode_rejections_then_parity(self):
+        """A master waiting on ``--listen`` turns away a garbage frame,
+        a wrong protocol version, a mismatched table fingerprint, an
+        out-of-range worker id and an off-roster host — each with an
+        explanatory unwelcome — then trains bit-identically with the two
+        real workers.  Distinct host ids force the inline row-id
+        fallback (no shm descriptors cross hosts)."""
+        from repro.core.tasks import WorkerHelloMsg, WorkerWelcomeMsg
+        from repro.runtime.socket import _read_ctrl, _send_ctrl
+
+        table = _table("covtype")
+        jobs = [random_forest_job("rf", 3, TreeConfig(max_depth=6), seed=9)]
+        reference = _fit("sim", table, jobs).trees("rf")
+        port = _free_port()
+        options = _options(
+            listen=f"127.0.0.1:{port}",
+            expected_hosts=("host-a", "host-b"),
+            rendezvous_timeout_seconds=30.0,
+        )
+        result: dict = {}
+
+        def run_master():
+            try:
+                result["report"] = _fit(
+                    "socket", table, jobs, n_workers=2, options=options
+                )
+            except BaseException as error:  # pragma: no cover - diagnostics
+                result["error"] = error
+
+        master = threading.Thread(target=run_master, daemon=True)
+        master.start()
+
+        from repro.data.table import table_fingerprint
+
+        good_hash = table_fingerprint(table)
+
+        def hello(**kw):
+            kw.setdefault("protocol_version", SOCKET_PROTOCOL_VERSION)
+            kw.setdefault("table_hash", good_hash)
+            kw.setdefault("host_id", "host-a")
+            return WorkerHelloMsg(**kw)
+
+        rejected = [
+            (hello(worker_id=1, protocol_version=999), "protocol version"),
+            (hello(worker_id=1, table_hash="0" * 64), "fingerprint"),
+            (hello(worker_id=7), "out of range"),
+            (hello(worker_id=1, host_id="host-evil"), "expected_hosts"),
+        ]
+        for bad, needle in rejected:
+            stream = _dial(port)
+            try:
+                _send_ctrl(stream, bad)
+                welcome = _read_ctrl(stream, 10.0, WorkerWelcomeMsg)
+                assert welcome is not None and not welcome.ok
+                assert needle in welcome.error
+            finally:
+                stream.close()
+        # A non-hello frame gets an explanatory unwelcome too.
+        stream = _dial(port)
+        try:
+            stream.send_frame(CTRL_DST, b"not a pickle")
+            welcome = _read_ctrl(stream, 10.0, WorkerWelcomeMsg)
+            assert welcome is not None and not welcome.ok
+            assert "hello" in welcome.error
+        finally:
+            stream.close()
+
+        # The real roster: two `repro worker`-equivalent clients with
+        # distinct host ids (inline fallback across "hosts").
+        codes: dict[int, int] = {}
+
+        def run_worker(wid, host):
+            codes[wid] = connect_worker(
+                ("127.0.0.1", port), wid, table, host_id=host
+            )
+
+        workers = [
+            threading.Thread(
+                target=run_worker, args=(1, "host-a"), daemon=True
+            ),
+            threading.Thread(
+                target=run_worker, args=(2, "host-b"), daemon=True
+            ),
+        ]
+        for thread in workers:
+            thread.start()
+        master.join(timeout=120.0)
+        for thread in workers:
+            thread.join(timeout=30.0)
+        assert not master.is_alive()
+        if "error" in result:
+            raise result["error"]
+        report = result["report"]
+        assert_bit_identical(reference, report.trees("rf"))
+        assert report.cluster.transport["start_method"] == "external"
+        assert codes == {1: 0, 2: 0}
+        assert _repro_segments() == []
+
+    def test_duplicate_worker_id_rejected(self):
+        """The second hello claiming an already-joined id is turned away
+        while the first connection keeps its seat.  The rendezvous loop
+        accepts connections in connect order, so dialing the duplicate
+        *after* the legitimate hello makes the rejection deterministic."""
+        from repro.core.tasks import WorkerHelloMsg, WorkerWelcomeMsg
+        from repro.data.table import table_fingerprint
+        from repro.runtime.socket import (
+            _read_ctrl,
+            _run_socket_worker,
+            _send_ctrl,
+        )
+
+        table = _table("covtype")
+        jobs = [random_forest_job("rf", 1, TreeConfig(max_depth=4), seed=2)]
+        port = _free_port()
+        options = _options(
+            listen=f"127.0.0.1:{port}", rendezvous_timeout_seconds=30.0
+        )
+        result: dict = {}
+
+        def run_master():
+            try:
+                result["report"] = _fit(
+                    "socket", table, jobs, n_workers=2, options=options
+                )
+            except BaseException as error:  # pragma: no cover - diagnostics
+                result["error"] = error
+
+        master = threading.Thread(target=run_master, daemon=True)
+        master.start()
+
+        def hello(wid):
+            return WorkerHelloMsg(
+                worker_id=wid,
+                protocol_version=SOCKET_PROTOCOL_VERSION,
+                table_hash=table_fingerprint(table),
+                host_id="host-dup",
+            )
+
+        seat = _dial(port)
+        _send_ctrl(seat, hello(1))
+        impostor = _dial(port)
+        try:
+            _send_ctrl(impostor, hello(1))
+            unwelcome = _read_ctrl(impostor, 10.0, WorkerWelcomeMsg)
+            assert unwelcome is not None and not unwelcome.ok
+            assert "already joined" in unwelcome.error
+        finally:
+            impostor.close()
+        # The legitimate roster completes: worker 2 joins, worker 1's
+        # original connection receives its welcome and serves the run.
+        second = threading.Thread(
+            target=lambda: connect_worker(
+                ("127.0.0.1", port), 2, table, host_id="host-dup"
+            ),
+            daemon=True,
+        )
+        second.start()
+        welcome = _read_ctrl(seat, 30.0, WorkerWelcomeMsg)
+        assert welcome is not None and welcome.ok
+        code = _run_socket_worker(
+            seat, welcome, 1, table, "host-dup", None, None
+        )
+        assert code == 0
+        master.join(timeout=120.0)
+        second.join(timeout=30.0)
+        assert not master.is_alive()
+        if "error" in result:
+            raise result["error"]
+        assert result["report"].counters.trees_completed == 1
+
+    def test_rendezvous_timeout_is_a_clear_error(self):
+        table = _table("covtype")
+        port = _free_port()
+        options = _options(
+            listen=f"127.0.0.1:{port}", rendezvous_timeout_seconds=0.5
+        )
+        with pytest.raises(HandshakeError, match=r"missing workers \[1, 2\]"):
+            _fit(
+                "socket",
+                table,
+                [random_forest_job("rf", 1, TreeConfig(max_depth=4))],
+                n_workers=2,
+                options=options,
+            )
+        # The failed rendezvous released the port.
+        with socket_module.socket() as probe:
+            probe.bind(("127.0.0.1", port))
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+    def test_worker_side_handshake_errors(self):
+        table = _table("covtype")
+        # Nobody listening: a connection error, not a hang.
+        with pytest.raises(OSError):
+            connect_worker(("127.0.0.1", _free_port()), 1, table)
+        # A listener that never answers: HandshakeError after the timeout.
+        with socket_module.create_server(("127.0.0.1", 0)) as silent:
+            address = silent.getsockname()[:2]
+            with pytest.raises(HandshakeError, match="no welcome"):
+                connect_worker(address, 1, table, handshake_timeout=0.5)
+
+    def test_parse_address_validation(self):
+        assert parse_address("10.0.0.7:7733") == ("10.0.0.7", 7733)
+        for bad in ("localhost", "host:", ":123", "host:-1", "host:70000", ""):
+            with pytest.raises(ValueError, match="host:port"):
+                parse_address(bad)
+
+
+# ----------------------------------------------------------------------
+# frame layer
+# ----------------------------------------------------------------------
+class TestFrameStream:
+    def _pair(self):
+        a, b = socket_module.socketpair()
+        return FrameStream(a), FrameStream(b)
+
+    def test_frames_preserve_order_and_boundaries(self):
+        left, right = self._pair()
+        try:
+            payloads = [bytes([i]) * (i * 7 + 1) for i in range(64)]
+            for i, payload in enumerate(payloads):
+                left.send_frame(i, payload)
+            for i, expected in enumerate(payloads):
+                frame = right.read_frame(timeout=5.0)
+                assert frame == (i, expected)
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_on_frame_boundary(self):
+        left, right = self._pair()
+        left.send_frame(0, b"done")
+        left.close()
+        assert right.read_frame(timeout=5.0) == (0, b"done")
+        with pytest.raises(ConnectionClosed) as info:
+            right.read_frame(timeout=5.0)
+        assert info.value.clean
+        right.close()
+
+    def test_dirty_eof_mid_frame(self):
+        left, right = self._pair()
+        # A header promising more bytes than ever arrive.
+        left.sock.sendall(b"\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\xff")
+        left.close()
+        with pytest.raises(ConnectionClosed) as info:
+            right.read_frame(timeout=5.0)
+        assert not info.value.clean
+        right.close()
+
+    def test_poll_timeout_returns_none_and_resumes(self):
+        left, right = self._pair()
+        try:
+            assert right.read_frame(timeout=0.05) is None
+            left.send_frame(3, b"late")
+            assert right.read_frame(timeout=5.0) == (3, b"late")
+        finally:
+            left.close()
+            right.close()
+
+    def test_absurd_length_is_treated_as_corruption(self):
+        left, right = self._pair()
+        try:
+            import struct
+
+            left.sock.sendall(struct.pack("!iQ", 0, 1 << 50))
+            with pytest.raises(ConnectionClosed):
+                right.read_frame(timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+
+
+# ----------------------------------------------------------------------
+# failure semantics and recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    JOBS = [random_forest_job("rf", 4, TreeConfig(max_depth=7), seed=3)]
+
+    @pytest.mark.parametrize("use_shm", [True, False], ids=["shm", "queues"])
+    def test_killed_worker_recovers_bit_identical(self, use_shm):
+        """Losing 1 of 3 workers (k=2 replication) mid-run still matches
+        the undisturbed sim model."""
+        table = _table()
+        reference = _fit("sim", table, self.JOBS).trees("rf")
+        report = _fit(
+            "socket",
+            table,
+            self.JOBS,
+            options=_options(
+                fault_policy="recover",
+                use_shm=use_shm,
+                crash_worker_after=(2, 6),
+            ),
+        )
+        assert_bit_identical(reference, report.trees("rf"))
+        transport = report.cluster.transport
+        assert transport["recovered_workers"] == 1
+        assert report.counters.recovered_workers == 1
+        assert 2 not in transport["per_worker"]
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+    def test_fail_fast_surfaces_real_exitcode(self):
+        """Self-launch mode keeps subprocess exit codes: the injected
+        crash arrives as exitcode 71, not a generic EOF."""
+        from repro.runtime.process import CRASH_EXITCODE
+
+        table = _table()
+        options = _options(
+            message_timeout_seconds=10.0, crash_worker_after=(1, 2)
+        )
+        with pytest.raises(WorkerDiedError) as info:
+            _fit("socket", table, self.JOBS, options=options)
+        assert info.value.worker_id == 1
+        assert info.value.exitcode == CRASH_EXITCODE
+        assert multiprocessing.active_children() == []
+        assert _repro_segments() == []
+
+
+# ----------------------------------------------------------------------
+# factory and CLI
+# ----------------------------------------------------------------------
+class TestFactoryAndCli:
+    def test_create_runtime_dispatch(self):
+        system = _system(2)
+        cost = TreeServer(system).cost
+        runtime = create_runtime("socket", system, cost)
+        assert isinstance(runtime, SocketRuntime)
+        # The whole mp driver loop is inherited, only the transport swaps.
+        assert isinstance(runtime, ProcessRuntime)
+
+    def test_cli_train_socket_backend(self, tmp_path):
+        """`repro train --backend socket` end to end, identical to sim."""
+        from repro.cli import main
+        from repro.data.io import write_csv
+
+        table = _table("covtype")
+        csv = tmp_path / "data.csv"
+        write_csv(table, csv)
+        for backend, out_dir in (("socket", "m_sock"), ("sim", "m_sim")):
+            code = main(
+                [
+                    "train", "--csv", str(csv), "--target", "label",
+                    "--model-dir", str(tmp_path / out_dir), "--forest", "2",
+                    "--workers", "2", "--max-depth", "6",
+                    "--backend", backend,
+                ],
+                out=io.StringIO(),
+            )
+            assert code == 0
+        for name in ("tree_0.json", "tree_1.json"):
+            assert (tmp_path / "m_sock" / name).read_text() == (
+                tmp_path / "m_sim" / name
+            ).read_text()
+        assert _repro_segments() == []
+
+    def test_cli_flag_combinations_validated(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data.io import write_csv
+
+        table = _table("covtype")
+        csv = tmp_path / "data.csv"
+        write_csv(table, csv)
+        base = [
+            "train", "--csv", str(csv), "--target", "label",
+            "--model-dir", str(tmp_path / "m"),
+        ]
+        assert main(base + ["--listen", "127.0.0.1:0"], out=io.StringIO()) == 2
+        assert "--backend socket" in capsys.readouterr().err
+        assert (
+            main(
+                base + ["--backend", "socket", "--hosts", "a,b"],
+                out=io.StringIO(),
+            )
+            == 2
+        )
+        assert "--listen" in capsys.readouterr().err

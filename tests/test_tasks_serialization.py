@@ -164,6 +164,24 @@ MESSAGE_FACTORIES: dict[type, object] = {
     tasks.WorkerErrorMsg: tasks.WorkerErrorMsg(
         worker=2, error="ValueError: boom", traceback="Traceback ..."
     ),
+    tasks.WorkerHelloMsg: tasks.WorkerHelloMsg(
+        worker_id=2,
+        protocol_version=tasks.SOCKET_PROTOCOL_VERSION,
+        table_hash="deadbeef" * 8,
+        host_id="host-a/0123abcd",
+        pid=4711,
+    ),
+    tasks.WorkerWelcomeMsg: tasks.WorkerWelcomeMsg(
+        ok=True,
+        n_workers=3,
+        held_columns=(0, 2),
+        host_map={0: "host-a/0123abcd", 1: "host-a/0123abcd", 2: "host-b/ffee"},
+        shm_prefix="repro-shm-cafe01",
+        shm_threshold_bytes=8192,
+        coalesce_max_messages=32,
+        poll_interval_seconds=0.05,
+        cost=None,
+    ),
 }
 
 #: Dataclasses that travel *inside* messages, pinned with the same rigor.

@@ -1,0 +1,160 @@
+"""Transport-seam conformance: one contract, three substrates.
+
+The :class:`~repro.runtime.base.Transport` protocol makes exactly three
+promises the TreeServer event loops rely on:
+
+* **per-sender FIFO per destination** — the extra-trees retry path
+  (``task_delete`` immediately followed by a fresh ``column_plan`` to
+  the same worker) breaks if a later send can overtake an earlier one;
+* **flush-on-idle delivery** — sends may be coalesced, but everything
+  buffered must be on its way once the sender goes idle (an explicit
+  ``flush``, or the implicit one in ``recv_master``), never held until
+  some unrelated later event;
+* **idempotent close** — teardown paths run ``close`` from both success
+  and failure branches, sometimes twice.
+
+This suite runs the same assertions over all three implementations:
+``SimTransport`` (discrete-event network), ``ProcessTransport``
+(multiprocessing queues) and ``SocketTransport`` (framed TCP, loopback
+self-launch).  A new backend earns its seat by passing this file.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+
+import pytest
+
+from repro import SystemConfig, TreeServer
+from repro.cluster.network import Message
+from repro.cluster.topology import SimulatedCluster
+from repro.core.load_balance import assign_columns_to_workers
+from repro.datasets import dataset_spec, generate
+from repro.runtime import RuntimeOptions
+from repro.runtime.sim import SimTransport
+
+#: Kind tag of the probe messages; never a real protocol kind.
+PROBE = "conformance_probe"
+
+
+class _Harness:
+    """Uniform view of one transport for the contract assertions."""
+
+    def __init__(self, transport, deliver, close):
+        self.transport = transport
+        self._deliver = deliver
+        self.close = close
+
+    def send(self, payload) -> None:
+        self.transport.send(0, self.destination, PROBE, payload, 8)
+
+    def delivered(self, count: int) -> list:
+        """Payloads observed at the destination, in arrival order."""
+        return self._deliver(count)
+
+    destination = 0
+
+
+class _SimHarness(_Harness):
+    destination = 1
+
+    def __init__(self):
+        system = SystemConfig(n_workers=2, compers_per_worker=1)
+        cluster = SimulatedCluster(
+            n_workers=2, compers_per_worker=1, cost=TreeServer(system).cost
+        )
+        self.received: list[Message] = []
+        recorder = self
+
+        class _Recorder:
+            def handle_message(self, message: Message) -> None:
+                recorder.received.append(message)
+
+        cluster.register(1, _Recorder())
+        transport = SimTransport(cluster)
+
+        def deliver(count: int) -> list:
+            cluster.run()  # drain the event queue
+            return [m.payload for m in self.received]
+
+        super().__init__(transport, deliver, transport.close)
+
+
+class _QueueHarness(_Harness):
+    """mp / socket: probes addressed to the master land in recv_master.
+
+    ``recv_master`` flushes the fabric before blocking — the flush-on-idle
+    rule — so no explicit ``flush`` call is needed for delivery.
+    """
+
+    def __init__(self, transport):
+        def deliver(count: int) -> list:
+            got = []
+            deadline = time.monotonic() + 15.0
+            while len(got) < count and time.monotonic() < deadline:
+                try:
+                    message = transport.recv_master(0.1)
+                except queue_module.Empty:
+                    continue
+                assert message.kind == PROBE
+                got.append(message.payload)
+            return got
+
+        super().__init__(transport, deliver, transport.close)
+
+
+def _real_transport(cls):
+    table = generate(dataset_spec("covtype", small=True))
+    placement = assign_columns_to_workers(table.n_columns, [1], 1)
+    system = SystemConfig(n_workers=1, compers_per_worker=1)
+    options = RuntimeOptions(
+        message_timeout_seconds=15.0, poll_interval_seconds=0.02, use_shm=False
+    )
+    return cls(1, table, placement, TreeServer(system).cost, options)
+
+
+def _make_harness(backend: str) -> _Harness:
+    if backend == "sim":
+        return _SimHarness()
+    if backend == "mp":
+        from repro.runtime.process import ProcessTransport
+
+        return _QueueHarness(_real_transport(ProcessTransport))
+    from repro.runtime.socket import SocketTransport
+
+    return _QueueHarness(_real_transport(SocketTransport))
+
+
+@pytest.fixture(params=["sim", "mp", "socket"])
+def harness(request):
+    h = _make_harness(request.param)
+    try:
+        yield h
+    finally:
+        h.close()
+        assert multiprocessing.active_children() == []
+
+
+class TestTransportContract:
+    def test_per_sender_fifo(self, harness):
+        """64 probes from one sender arrive in send order — more than the
+        coalescing cap, so order must survive batch boundaries too."""
+        count = 64
+        for i in range(count):
+            harness.send(i)
+        harness.transport.flush()
+        assert harness.delivered(count) == list(range(count))
+
+    def test_flush_on_idle_delivers_buffered_sends(self, harness):
+        """No explicit flush: going idle (the receive path) suffices."""
+        for i in range(3):
+            harness.send(("idle", i))
+        assert harness.delivered(3) == [("idle", i) for i in range(3)]
+
+    def test_close_is_idempotent(self, harness):
+        harness.send("pre-close")
+        harness.transport.flush()
+        harness.close()
+        harness.close()  # second close must be a no-op, not an error
