@@ -217,10 +217,18 @@ class RuntimeOptions:
             spec = getattr(self, name)
             if spec is None:
                 continue
-            if len(spec) != 2 or any(entry < 0 for entry in spec):
+            # Same rule as parse_kill_spec (the REPRO_MP_KILL env form):
+            # worker ids start at 1 and the count is 1-based, so a 0
+            # entry would silently inject nothing.
+            if (
+                len(spec) != 2
+                or not all(isinstance(entry, int) for entry in spec)
+                or spec[0] < 1
+                or spec[1] < 1
+            ):
                 raise ValueError(
                     f"{name} must be a (worker_id, n_messages) pair of "
-                    f"non-negative integers, got {spec!r}"
+                    f"integers >= 1, got {spec!r}"
                 )
 
     def resolved_fault_policy(self, backend: str) -> str:

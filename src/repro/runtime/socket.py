@@ -41,10 +41,14 @@ The host map drives the ``ShmSlice`` rule: descriptors are only sent to
 peers whose host id matches the sender's (``WorkerActor.shm_peers``);
 everyone else gets inline row ids.
 
-Trust boundary: frames are **pickle** — this transport is for clusters
-you own, exactly like the paper's deployment.  It performs no
-authentication beyond the rendezvous checks and must not face a hostile
-network.
+Trust boundary: the rendezvous control frames are **JSON** (never
+pickle — they arrive from peers that have proven nothing yet, and
+unpickling pre-auth bytes would hand any port scanner code execution),
+but post-rendezvous protocol frames are **pickle** — this transport is
+for clusters you own, exactly like the paper's deployment.  It performs
+no authentication beyond the rendezvous checks (the table fingerprint
+acts as a weak shared secret), must not face a hostile network, and
+warns when told to bind a non-loopback address.
 
 Failure semantics reuse the mp driver verbatim
 (:class:`SocketRuntime` subclasses
@@ -67,13 +71,17 @@ same seed-derived randomness.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 import pickle
 import queue as queue_module
+import select
 import socket
 import struct
 import threading
 import time
+import warnings
 from collections import deque
 from pathlib import Path
 from typing import Any
@@ -153,13 +161,24 @@ def _default_host_id() -> str:
     The hostname alone is not enough — containers routinely share one —
     so ``/etc/machine-id`` (stable per OS installation) is appended
     where readable.  Two workers may exchange shm descriptors only when
-    these ids match (``docs/PROTOCOL.md``).
+    these ids match (``docs/PROTOCOL.md``), and a false match is worse
+    than a missed one: cross-host ``ShmSlice`` descriptors cannot
+    attach, wedging the run, while inline row ids merely cost
+    bandwidth.  So when no machine id is readable the fallback is a
+    **process-unique** id (refusing shm peering entirely) rather than
+    the bare hostname — two containers on different physical hosts with
+    identical hostnames must not be treated as shm peers.  Co-located
+    external workers in that situation can opt back in with an explicit
+    ``repro worker --host-id``; self-launch workers are unaffected (the
+    master hands them its own host id).
     """
     machine = ""
     try:
         machine = Path("/etc/machine-id").read_text().strip()
     except OSError:
         pass
+    if not machine:
+        return f"{socket.gethostname()}/pid{os.getpid()}"
     return f"{socket.gethostname()}/{machine[:12]}"
 
 
@@ -187,7 +206,15 @@ def _configure_socket(sock: socket.socket) -> None:
 class FrameStream:
     """Buffered framed reads and locked framed writes over one socket.
 
-    Reads keep partial bytes across timeouts (a poll-timeout mid-frame
+    The socket is kept permanently **blocking** (any connect timeout is
+    cleared on construction) and read polling is done with ``select``
+    instead of ``settimeout`` — a socket timeout is per-socket state, so
+    arming one for a 50ms read poll would silently apply to every later
+    ``sendall`` on the same socket, and a timed-out ``sendall`` may have
+    partially written its frame, permanently desyncing the stream.
+    Writes therefore always run to completion (or fail hard).
+
+    Reads keep partial bytes across poll timeouts (a timeout mid-frame
     resumes where it left off); writes serialize header + payload into
     one ``sendall`` under a lock so concurrent senders (a writer thread
     plus a handshake reply, or a worker's main loop plus its error
@@ -196,11 +223,12 @@ class FrameStream:
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
+        sock.settimeout(None)  # blocking forever; reads poll via select
         self._buffer = bytearray()
         self._send_lock = threading.Lock()
 
     def send_frame(self, dst: int, payload: bytes) -> None:
-        """Write one ``(dst, payload)`` frame (thread-safe)."""
+        """Write one ``(dst, payload)`` frame, fully (thread-safe)."""
         header = FRAME_HEADER.pack(dst, len(payload))
         with self._send_lock:
             self.sock.sendall(header + payload)
@@ -213,23 +241,33 @@ class FrameStream:
         Raises :class:`ConnectionClosed` on EOF — ``clean`` iff the
         buffer held no partial frame.
         """
-        self.sock.settimeout(timeout)
-        try:
-            while len(self._buffer) < FRAME_HEADER.size:
-                self._recv_more()
-            dst, length = FRAME_HEADER.unpack_from(self._buffer)
-            if length > MAX_FRAME_BYTES:
-                raise ConnectionClosed(clean=False)
-            total = FRAME_HEADER.size + length
-            while len(self._buffer) < total:
-                self._recv_more()
-            payload = bytes(self._buffer[FRAME_HEADER.size : total])
-            del self._buffer[:total]
-            return dst, payload
-        except TimeoutError:
-            if timeout is None:  # a real ETIMEDOUT, not a poll timeout
-                raise
-            return None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(self._buffer) < FRAME_HEADER.size:
+            if not self._wait_readable(deadline):
+                return None
+            self._recv_more()
+        dst, length = FRAME_HEADER.unpack_from(self._buffer)
+        if length > MAX_FRAME_BYTES:
+            raise ConnectionClosed(clean=False)
+        total = FRAME_HEADER.size + length
+        while len(self._buffer) < total:
+            if not self._wait_readable(deadline):
+                return None
+            self._recv_more()
+        payload = bytes(self._buffer[FRAME_HEADER.size : total])
+        del self._buffer[:total]
+        return dst, payload
+
+    def _wait_readable(self, deadline: float | None) -> bool:
+        """Block until the socket is readable; ``False`` past the deadline."""
+        if deadline is None:
+            select.select([self.sock], [], [])
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        readable, _, _ = select.select([self.sock], [], [], remaining)
+        return bool(readable)
 
     def _recv_more(self) -> None:
         chunk = self.sock.recv(1 << 16)
@@ -238,18 +276,80 @@ class FrameStream:
         self._buffer += chunk
 
     def close(self) -> None:
-        """Close the underlying socket (idempotent)."""
+        """Close the underlying socket (idempotent).
+
+        ``shutdown`` first, so a reader blocked in ``select``/``recv``
+        on another thread wakes with EOF instead of sleeping through
+        the close.
+        """
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already closed or never connected
         try:
             self.sock.close()
         except OSError:  # pragma: no cover - close races are benign
             pass
 
 
+#: Handshake dataclasses admitted on a control frame, by wire name.
+#: Control frames are **JSON, not pickle**: they are decoded before any
+#: rendezvous validation has run, i.e. from a peer that has proven
+#: nothing yet, and unpickling attacker-supplied bytes is arbitrary
+#: code execution.  Every field of both messages is a JSON scalar (the
+#: welcome's :class:`~repro.cluster.cost.CostModel` is a dataclass of
+#: floats/ints), so nothing is lost — and JSON round-trips Python
+#: floats exactly, keeping the cost model bit-identical across hosts.
+_CTRL_TYPES: dict[str, type] = {
+    "WorkerHelloMsg": WorkerHelloMsg,
+    "WorkerWelcomeMsg": WorkerWelcomeMsg,
+}
+
+#: Required JSON types of every hello field — checked before the hello
+#: reaches validation code that assumes well-typed values.
+_HELLO_FIELD_TYPES: dict[str, type] = {
+    "worker_id": int,
+    "protocol_version": int,
+    "table_hash": str,
+    "host_id": str,
+    "pid": int,
+}
+
+
 def _send_ctrl(stream: FrameStream, message: Any) -> None:
-    """Ship one handshake dataclass as a control frame."""
-    stream.send_frame(
-        CTRL_DST, pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    )
+    """Ship one handshake dataclass as a JSON control frame."""
+    blob = json.dumps(
+        {"kind": type(message).__name__, "body": dataclasses.asdict(message)}
+    ).encode("utf-8")
+    stream.send_frame(CTRL_DST, blob)
+
+
+def _decode_ctrl(payload: bytes, expected: type) -> Any:
+    """Decode one control-frame payload, or ``None`` if malformed.
+
+    Strict by construction: unknown kinds, missing/extra/badly-typed
+    fields and non-JSON payloads all come back ``None`` (the caller
+    treats that as a garbage peer).  No pickle is involved.
+    """
+    try:
+        wrapper = json.loads(payload.decode("utf-8"))
+        if _CTRL_TYPES.get(wrapper["kind"]) is not expected:
+            return None
+        body = dict(wrapper["body"])
+        if expected is WorkerHelloMsg:
+            for field_name, field_type in _HELLO_FIELD_TYPES.items():
+                if not isinstance(body[field_name], field_type):
+                    return None
+        elif expected is WorkerWelcomeMsg:
+            body["held_columns"] = tuple(body["held_columns"])
+            body["host_map"] = {
+                int(wid): str(host) for wid, host in body["host_map"].items()
+            }
+            if body["cost"] is not None:
+                body["cost"] = CostModel(**body["cost"])
+        return expected(**body)
+    except Exception:
+        return None
 
 
 def _read_ctrl(stream: FrameStream, timeout: float, expected: type) -> Any:
@@ -260,11 +360,7 @@ def _read_ctrl(stream: FrameStream, timeout: float, expected: type) -> Any:
         return None
     if frame is None or frame[0] != CTRL_DST:
         return None
-    try:
-        message = pickle.loads(frame[1])
-    except Exception:
-        return None
-    return message if isinstance(message, expected) else None
+    return _decode_ctrl(frame[1], expected)
 
 
 # ----------------------------------------------------------------------
@@ -275,8 +371,11 @@ class _SocketQueue:
 
     Every destination rides the single connection to the master hub,
     which relays by header.  A send failing because the master vanished
-    is dropped — the worker's event loop notices the EOF next time it
-    reads and exits as orphaned, mirroring a dead mp queue.
+    (a disconnect — never a timeout; sends are blocking) is dropped —
+    the worker's event loop notices the EOF next time it reads and
+    exits as orphaned, mirroring a dead mp queue.  Any other failure
+    propagates: silently dropping protocol messages on a live
+    connection would wedge the run.
     """
 
     def __init__(self, stream: FrameStream, dst: int) -> None:
@@ -286,7 +385,7 @@ class _SocketQueue:
     def put(self, blob: bytes) -> None:
         try:
             self._stream.send_frame(self._dst, blob)
-        except OSError:
+        except ConnectionError:
             pass  # master gone; orphan exit follows on the next read
 
     def close(self) -> None:
@@ -598,14 +697,19 @@ def _launched_worker_main(
     address: tuple[str, int],
     worker_id: int,
     table_ref: "DataTable | SharedTableHandle",
+    host_id: str,
     crash_after: int | None,
     raise_after: int | None,
 ) -> None:
     """Subprocess entry of the loopback self-launch mode.
 
     The same dial-in path an external ``repro worker`` takes — the
-    only difference is where the table comes from: a handle to attach
-    (shm data plane) or the inherited/pickled table itself.
+    only difference is where the table comes from (a handle to attach
+    for the shm data plane, or the inherited/pickled table itself) and
+    that the master passes its *own* host id explicitly: self-launch
+    workers share the master's host by construction, so shm peering
+    must work even where ``_default_host_id`` would degrade to a
+    process-unique id (no readable machine id).
     """
     attached = None
     code = 1
@@ -621,6 +725,7 @@ def _launched_worker_main(
             address,
             worker_id,
             table,
+            host_id=host_id,
             crash_after=crash_after,
             raise_after=raise_after,
             attached_nbytes=nbytes,
@@ -700,6 +805,17 @@ class SocketTransport:
         else:
             self.start_method = "external"
             bind_address = parse_address(options.listen)
+            if bind_address[0] not in ("127.0.0.1", "::1", "localhost"):
+                warnings.warn(
+                    f"socket master binding non-loopback address "
+                    f"{options.listen!r}: the handshake is JSON, but "
+                    f"post-rendezvous protocol frames are pickled — any "
+                    f"peer that passes the rendezvous checks can execute "
+                    f"code in this cluster.  Bind only on networks you "
+                    f"trust (docs/PROTOCOL.md, trust boundary).",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         try:
             self._listener = socket.create_server(
                 bind_address, backlog=n_workers + 2
@@ -740,6 +856,7 @@ class SocketTransport:
                     self.address,
                     wid,
                     table_ref,
+                    self.host_id,
                     crash[1] if crash is not None and crash[0] == wid else None,
                     raises[1]
                     if raises is not None and raises[0] == wid
@@ -763,37 +880,89 @@ class SocketTransport:
         out-of-range worker id, host not on the ``expected_hosts``
         roster, or plain garbage) gets an explanatory unwelcome and its
         connection closed; it does not count towards the roster.
+
+        Hellos are read **concurrently** — an accept thread hands every
+        new connection to its own hello-reader thread — so one slow or
+        stalled client only occupies its own thread and cannot burn the
+        roster-wide rendezvous deadline for everyone else.  Streams
+        still waiting on a hello when the rendezvous ends (either way)
+        are closed, which unblocks their readers.
         """
         deadline = time.monotonic() + self.options.rendezvous_timeout_seconds
         hellos: dict[int, tuple[WorkerHelloMsg, FrameStream]] = {}
         expected = set(range(1, self.n_workers + 1))
-        while len(hellos) < self.n_workers:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise HandshakeError(
-                    f"rendezvous timed out after "
-                    f"{self.options.rendezvous_timeout_seconds:.0f}s; "
-                    f"missing workers {sorted(expected - set(hellos))}"
-                )
-            self._listener.settimeout(remaining)
-            try:
-                sock, _peer = self._listener.accept()
-            except TimeoutError:
-                continue
-            _configure_socket(sock)
-            stream = FrameStream(sock)
+        results: queue_module.SimpleQueue = queue_module.SimpleQueue()
+        pending_lock = threading.Lock()
+        pending: set[FrameStream] = set()
+        stop_accepting = threading.Event()
+
+        def read_hello(stream: FrameStream) -> None:
             hello = _read_ctrl(
-                stream, max(0.1, min(remaining, 30.0)), WorkerHelloMsg
+                stream, max(0.1, deadline - time.monotonic()), WorkerHelloMsg
             )
-            error = self._validate_hello(hello, hellos)
-            if error is not None:
+            with pending_lock:
+                pending.discard(stream)
+            results.put((hello, stream))
+
+        def accept_loop() -> None:
+            while not stop_accepting.is_set():
                 try:
-                    _send_ctrl(stream, WorkerWelcomeMsg(ok=False, error=error))
+                    sock, _peer = self._listener.accept()
+                except TimeoutError:
+                    continue
                 except OSError:
-                    pass
+                    return  # listener closed under us (shutdown path)
+                _configure_socket(sock)
+                stream = FrameStream(sock)
+                with pending_lock:
+                    pending.add(stream)
+                threading.Thread(
+                    target=read_hello,
+                    args=(stream,),
+                    name="repro-socket-hello",
+                    daemon=True,
+                ).start()
+
+        self._listener.settimeout(0.1)
+        acceptor = threading.Thread(
+            target=accept_loop, name="repro-socket-accept", daemon=True
+        )
+        acceptor.start()
+        try:
+            while len(hellos) < self.n_workers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise HandshakeError(
+                        f"rendezvous timed out after "
+                        f"{self.options.rendezvous_timeout_seconds:.0f}s; "
+                        f"missing workers {sorted(expected - set(hellos))}"
+                    )
+                try:
+                    hello, stream = results.get(timeout=remaining)
+                except queue_module.Empty:
+                    continue
+                error = self._validate_hello(hello, hellos)
+                if error is not None:
+                    try:
+                        _send_ctrl(
+                            stream, WorkerWelcomeMsg(ok=False, error=error)
+                        )
+                    except OSError:
+                        pass
+                    stream.close()
+                    continue
+                hellos[hello.worker_id] = (hello, stream)
+        except BaseException:
+            for _hello, stream in hellos.values():
                 stream.close()
-                continue
-            hellos[hello.worker_id] = (hello, stream)
+            raise
+        finally:
+            stop_accepting.set()
+            acceptor.join(timeout=5.0)
+            with pending_lock:
+                still_pending = list(pending)
+            for stream in still_pending:
+                stream.close()  # wakes its hello reader with EOF
         host_map = {0: self.host_id} | {
             wid: hello.host_id for wid, (hello, _) in hellos.items()
         }
@@ -817,7 +986,6 @@ class SocketTransport:
                     cost=cost,
                 ),
             )
-            stream.sock.settimeout(None)
             self._conns[wid] = stream
             writer = threading.Thread(
                 target=self._writer_loop,

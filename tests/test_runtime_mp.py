@@ -546,12 +546,20 @@ class TestCrashRecovery:
             RuntimeOptions(crash_worker_after=(1, -2))
         with pytest.raises(ValueError, match="raise_worker_after"):
             RuntimeOptions(raise_worker_after=(-1, 2))
+        # Worker ids start at 1 and counts are 1-based (matching
+        # parse_kill_spec) — a 0 entry would silently inject nothing.
+        with pytest.raises(ValueError, match="crash_worker_after"):
+            RuntimeOptions(crash_worker_after=(0, 5))
+        with pytest.raises(ValueError, match="raise_worker_after"):
+            RuntimeOptions(raise_worker_after=(2, 0))
+        with pytest.raises(ValueError, match="crash_worker_after"):
+            RuntimeOptions(crash_worker_after=(1.0, 5))  # ints only
         # Boundary values stay legal.
         RuntimeOptions(
             coalesce_max_messages=1,
             shm_threshold_bytes=0,
-            crash_worker_after=(0, 0),
-            raise_worker_after=(0, 0),
+            crash_worker_after=(1, 1),
+            raise_worker_after=(1, 1),
         )
 
     @pytest.mark.parametrize("via_env", [False, True], ids=["option", "env"])

@@ -227,12 +227,18 @@ class TestRendezvous:
         # A non-hello frame gets an explanatory unwelcome too.
         stream = _dial(port)
         try:
-            stream.send_frame(CTRL_DST, b"not a pickle")
+            stream.send_frame(CTRL_DST, b"not json at all")
             welcome = _read_ctrl(stream, 10.0, WorkerWelcomeMsg)
             assert welcome is not None and not welcome.ok
             assert "hello" in welcome.error
         finally:
             stream.close()
+
+        # A stalled client that connects but never sends a hello must
+        # not block the real workers: hellos are read concurrently, so
+        # it only occupies its own reader thread, not the roster-wide
+        # rendezvous deadline.
+        stalled = _dial(port)
 
         # The real roster: two `repro worker`-equivalent clients with
         # distinct host ids (inline fallback across "hosts").
@@ -256,6 +262,7 @@ class TestRendezvous:
         master.join(timeout=120.0)
         for thread in workers:
             thread.join(timeout=30.0)
+        stalled.close()
         assert not master.is_alive()
         if "error" in result:
             raise result["error"]
@@ -266,10 +273,12 @@ class TestRendezvous:
         assert _repro_segments() == []
 
     def test_duplicate_worker_id_rejected(self):
-        """The second hello claiming an already-joined id is turned away
-        while the first connection keeps its seat.  The rendezvous loop
-        accepts connections in connect order, so dialing the duplicate
-        *after* the legitimate hello makes the rejection deterministic."""
+        """Two clients claiming worker id 1: exactly one gets the seat,
+        the other is turned away with "already joined", and the run
+        completes.  Hellos are read concurrently (so a stalled client
+        cannot burn the rendezvous deadline), which makes arrival order
+        between near-simultaneous claims arbitrary — as it always is on
+        a real network — so this pins the invariant, not the winner."""
         from repro.core.tasks import WorkerHelloMsg, WorkerWelcomeMsg
         from repro.data.table import table_fingerprint
         from repro.runtime.socket import (
@@ -305,18 +314,11 @@ class TestRendezvous:
                 host_id="host-dup",
             )
 
-        seat = _dial(port)
-        _send_ctrl(seat, hello(1))
-        impostor = _dial(port)
-        try:
-            _send_ctrl(impostor, hello(1))
-            unwelcome = _read_ctrl(impostor, 10.0, WorkerWelcomeMsg)
-            assert unwelcome is not None and not unwelcome.ok
-            assert "already joined" in unwelcome.error
-        finally:
-            impostor.close()
-        # The legitimate roster completes: worker 2 joins, worker 1's
-        # original connection receives its welcome and serves the run.
+        claimants = [_dial(port), _dial(port)]
+        for stream in claimants:
+            _send_ctrl(stream, hello(1))
+        # Worker 2 completes the roster so the barrier welcome can go
+        # out to whichever claimant won seat 1.
         second = threading.Thread(
             target=lambda: connect_worker(
                 ("127.0.0.1", port), 2, table, host_id="host-dup"
@@ -324,10 +326,36 @@ class TestRendezvous:
             daemon=True,
         )
         second.start()
-        welcome = _read_ctrl(seat, 30.0, WorkerWelcomeMsg)
-        assert welcome is not None and welcome.ok
+        replies: dict[int, WorkerWelcomeMsg | None] = {}
+
+        def read_reply(index):
+            replies[index] = _read_ctrl(
+                claimants[index], 30.0, WorkerWelcomeMsg
+            )
+
+        readers = [
+            threading.Thread(target=read_reply, args=(i,), daemon=True)
+            for i in range(2)
+        ]
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join(timeout=60.0)
+        assert all(reply is not None for reply in replies.values())
+        winners = [i for i, reply in replies.items() if reply.ok]
+        losers = [i for i, reply in replies.items() if not reply.ok]
+        assert len(winners) == 1 and len(losers) == 1
+        assert "already joined" in replies[losers[0]].error
+        claimants[losers[0]].close()
+        # The winning connection serves the run as worker 1.
         code = _run_socket_worker(
-            seat, welcome, 1, table, "host-dup", None, None
+            claimants[winners[0]],
+            replies[winners[0]],
+            1,
+            table,
+            "host-dup",
+            None,
+            None,
         )
         assert code == 0
         master.join(timeout=120.0)
@@ -336,6 +364,47 @@ class TestRendezvous:
         if "error" in result:
             raise result["error"]
         assert result["report"].counters.trees_completed == 1
+
+    def test_host_id_fallback_refuses_shm_peering(self, monkeypatch):
+        """Without a readable machine id (common in containers, which
+        also share baked-in hostnames) the default host id must be
+        process-unique: a false host match ships shm descriptors that
+        cannot attach cross-host, wedging the run, so no machine id
+        means no implicit shm peering.  ``--host-id`` opts back in."""
+        from repro.runtime import socket as socket_backend
+
+        class _Unreadable:
+            def __init__(self, *_args):
+                pass
+
+            def read_text(self):
+                raise OSError("no machine-id here")
+
+        monkeypatch.setattr(socket_backend, "Path", _Unreadable)
+        expected = f"{socket_module.gethostname()}/pid{os.getpid()}"
+        assert socket_backend._default_host_id() == expected
+
+        class _Empty(_Unreadable):
+            def read_text(self):
+                return "\n"
+
+        monkeypatch.setattr(socket_backend, "Path", _Empty)
+        assert socket_backend._default_host_id() == expected
+
+    def test_non_loopback_listen_warns_about_trust_boundary(self):
+        table = _table("covtype")
+        options = _options(
+            listen=f"0.0.0.0:{_free_port()}", rendezvous_timeout_seconds=0.3
+        )
+        with pytest.warns(RuntimeWarning, match="non-loopback"):
+            with pytest.raises(HandshakeError, match="missing workers"):
+                _fit(
+                    "socket",
+                    table,
+                    [random_forest_job("rf", 1, TreeConfig(max_depth=4))],
+                    n_workers=1,
+                    options=options,
+                )
 
     def test_rendezvous_timeout_is_a_clear_error(self):
         table = _table("covtype")
@@ -373,6 +442,76 @@ class TestRendezvous:
         for bad in ("localhost", "host:", ":123", "host:-1", "host:70000", ""):
             with pytest.raises(ValueError, match="host:port"):
                 parse_address(bad)
+
+    def test_handshake_frames_are_json_never_unpickled(self):
+        """Control frames arrive before any peer has proven anything, so
+        they must be a non-executable encoding: the wire payload is
+        plain JSON, a *pickled* hello is rejected instead of loaded,
+        and badly-typed fields never reach validation code."""
+        import json
+        import pickle
+
+        from repro.core.tasks import WorkerHelloMsg, WorkerWelcomeMsg
+        from repro.runtime.socket import _decode_ctrl, _send_ctrl
+
+        left, right = socket_module.socketpair()
+        a, b = FrameStream(left), FrameStream(right)
+        try:
+            hello = WorkerHelloMsg(
+                worker_id=1,
+                protocol_version=SOCKET_PROTOCOL_VERSION,
+                table_hash="ab" * 32,
+                host_id="host-a",
+                pid=123,
+            )
+            _send_ctrl(a, hello)
+            dst, payload = b.read_frame(timeout=5.0)
+            assert dst == CTRL_DST
+            decoded = json.loads(payload)  # the payload IS json
+            assert decoded["body"]["worker_id"] == 1
+            assert _decode_ctrl(payload, WorkerHelloMsg) == hello
+            # A pickled hello — the old wire format — is turned away.
+            assert _decode_ctrl(pickle.dumps(hello), WorkerHelloMsg) is None
+            # Wrong kind, wrong types, junk: all rejected, none raise.
+            assert _decode_ctrl(payload, WorkerWelcomeMsg) is None
+            bad_type = dict(decoded, body=dict(decoded["body"], worker_id="1"))
+            assert (
+                _decode_ctrl(json.dumps(bad_type).encode(), WorkerHelloMsg)
+                is None
+            )
+            assert _decode_ctrl(b"\x80\x05garbage", WorkerHelloMsg) is None
+        finally:
+            a.close()
+            b.close()
+
+    def test_welcome_round_trips_cost_model_exactly(self):
+        """The welcome carries the CostModel as JSON; bit-identical
+        training across hosts needs it to round-trip exactly."""
+        from repro.cluster.cost import CostModel
+        from repro.core.tasks import WorkerWelcomeMsg
+        from repro.runtime.socket import _read_ctrl, _send_ctrl
+
+        left, right = socket_module.socketpair()
+        a, b = FrameStream(left), FrameStream(right)
+        try:
+            sent = WorkerWelcomeMsg(
+                ok=True,
+                n_workers=3,
+                held_columns=(2, 5, 7),
+                host_map={0: "m", 1: "h-a", 2: "h-a", 3: "h-b"},
+                shm_prefix="repro-x",
+                shm_threshold_bytes=4096,
+                coalesce_max_messages=16,
+                poll_interval_seconds=0.02,
+                cost=CostModel(ops_per_second=31.7e6, latency_seconds=3e-4),
+            )
+            _send_ctrl(a, sent)
+            got = _read_ctrl(b, 5.0, WorkerWelcomeMsg)
+            assert got == sent
+            assert got.host_map == {0: "m", 1: "h-a", 2: "h-a", 3: "h-b"}
+        finally:
+            a.close()
+            b.close()
 
 
 # ----------------------------------------------------------------------
@@ -422,6 +561,33 @@ class TestFrameStream:
             assert right.read_frame(timeout=0.05) is None
             left.send_frame(3, b"late")
             assert right.read_frame(timeout=5.0) == (3, b"late")
+        finally:
+            left.close()
+            right.close()
+
+    def test_poll_timeout_never_arms_a_send_timeout(self):
+        """Read polling must not leave the socket in timeout mode: a
+        ``sendall`` under a ~50ms poll timeout can partially write a
+        frame (stream desync) and drop protocol messages.  After any
+        poll-timeout read the socket stays fully blocking, and a frame
+        much larger than the socket buffer still sends completely."""
+        left, right = self._pair()
+        try:
+            assert left.read_frame(timeout=0.05) is None
+            assert left.sock.gettimeout() is None  # blocking, not 0.05
+            # Far beyond any kernel socket buffer: a timed-out sendall
+            # would truncate this; a blocking one cannot.
+            payload = os.urandom(8 << 20)
+            received = {}
+
+            def consume():
+                received["frame"] = right.read_frame(timeout=30.0)
+
+            reader = threading.Thread(target=consume, daemon=True)
+            reader.start()
+            left.send_frame(1, payload)
+            reader.join(timeout=30.0)
+            assert received["frame"] == (1, payload)
         finally:
             left.close()
             right.close()
