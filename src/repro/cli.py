@@ -169,6 +169,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-depth", type=int, default=None,
         help="truncate prediction at this depth (Appendix D)",
     )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="serve through a fleet of this many OS worker processes "
+        "mapping the compiled model from shared memory (default: "
+        "in-process)",
+    )
+    serve.add_argument(
+        "--quantize", action="store_true",
+        help="serve the compact float32/int16 compiled form "
+        "(see docs/SERVING.md for the accuracy contract)",
+    )
 
     worker = sub.add_parser(
         "worker",
@@ -407,7 +418,13 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         [np.asarray(col, dtype=np.float64) for col in table.columns]
     ) if table.n_columns else np.zeros((table.n_rows, 0))
     predictions: list[np.ndarray] = []
-    with graceful_sigint(), PredictionServer(entry.predictor, config) as server:
+    backpressure_waits = 0
+    with graceful_sigint(), PredictionServer(
+        entry.predictor,
+        config,
+        n_workers=args.workers,
+        quantize=args.quantize,
+    ) as server:
         futures = []
         drained = 0  # backpressure cursor: oldest future not yet waited on
         for start in range(0, table.n_rows, chunk):
@@ -419,6 +436,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
                 except QueueFullError:
                     # Bounded queue is full: absorb it as backpressure by
                     # waiting for the oldest in-flight request to finish.
+                    backpressure_waits += 1
                     futures[drained].result(timeout=60.0)
                     drained += 1
         for future in futures:
@@ -428,6 +446,21 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     _write_predictions(args.out, flat)
     print(f"wrote {len(flat)} predictions to {args.out}", file=out)
     print(report.summary(), file=out)
+    print(
+        f"rejections: queue_full={report.rejected_queue_full} "
+        f"shutdown={report.rejected_shutdown} "
+        f"backpressure_waits={backpressure_waits}",
+        file=out,
+    )
+    if report.fleet is not None:
+        for worker in report.fleet["workers"]:
+            print(
+                f"worker {worker['worker_id']}: rows={worker['rows']} "
+                f"batches={worker['batches']} "
+                f"shm_bytes_mapped={worker['shm_bytes_mapped']} "
+                f"respawns={worker['respawns']}",
+                file=out,
+            )
     return 0
 
 

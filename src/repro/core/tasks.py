@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.schema import ProblemKind
-from ..data.shared import ShmSlice
+from ..data.shm import ShmSlice
 from .config import TreeConfig
 from .splits import CandidateSplit
 

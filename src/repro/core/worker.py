@@ -28,7 +28,7 @@ import numpy as np
 from ..cluster.network import Message
 from ..cluster.topology import SimulatedCluster
 from ..data.schema import ColumnKind, ProblemKind
-from ..data.shared import ShmArena, ShmSlice
+from ..data.shm import ShmArena, ShmSlice
 from ..data.table import DataTable
 from .builder import build_subtree, extra_tree_split_rng
 from .config import TreeKind

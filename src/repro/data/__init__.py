@@ -9,8 +9,11 @@ from .schema import (
     SchemaBuilder,
     TableSchema,
 )
-from .shared import (
+from .shm import (
+    AttachedPack,
     AttachedTable,
+    PackedArraySpec,
+    SharedArrayPack,
     SharedArraySpec,
     SharedTableHandle,
     ShmArena,
@@ -19,13 +22,16 @@ from .shared import (
 from .table import MISSING_CODE, DataTable
 
 __all__ = [
+    "AttachedPack",
     "AttachedTable",
     "ColumnKind",
     "ColumnSpec",
     "DataTable",
     "MISSING_CODE",
+    "PackedArraySpec",
     "ProblemKind",
     "SchemaBuilder",
+    "SharedArrayPack",
     "SharedArraySpec",
     "SharedTableHandle",
     "ShmArena",

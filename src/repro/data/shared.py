@@ -1,495 +1,47 @@
-"""Shared-memory images of training data: the mp backend's data plane.
+"""Compatibility re-exports: the shm machinery moved to ``repro.data.shm``.
 
-TreeServer's column partitioning makes the training table immutable for
-the whole run, which is exactly the shape POSIX shared memory is good at:
-write each column once, map it read-only everywhere.  Two primitives live
-here, both with *explicit* create / attach / close / unlink lifecycles so
-they work under any ``multiprocessing`` start method (``fork`` inherits
-nothing it should not; ``spawn`` attaches by name):
-
-* :class:`SharedTableHandle` — a per-column shared-memory image of a
-  :class:`~repro.data.table.DataTable`.  The creating process copies each
-  column array (and the target ``Y``) into its own named segment; the
-  picklable handle carries only ``(segment name, dtype, shape)`` per
-  array, and :meth:`SharedTableHandle.attach` rebuilds the table as
-  read-only zero-copy NumPy views in any other process.
-* :class:`ShmArena` — a pooled bump allocator for shipping large row-id
-  sets (``I_xl`` / ``I_xr``) between workers.  The owner writes an array
-  once and sends only a tiny :class:`ShmSlice` descriptor on the wire;
-  readers attach the segment (cached per name) and copy the slice out.
-  Slots are recycled when the owner frees them — a whole segment's cursor
-  rewinds once all its live slices are freed, which matches the
-  protocol's lifecycle (delegate stores are freed when the master
-  confirms a child side resolved, by which time causality guarantees
-  every reader has consumed its copy).
-
-CPython's ``resource_tracker`` is deliberately kept out of the loop: on
-3.12 and earlier it registers segments on *attach* as well as create, and
-its registry is a name set shared by every process of the program, so any
-multi-process create/attach/unlink choreography leaves it either
-double-counting or complaining about names it no longer knows.  Every
-constructor here immediately balances the tracker's implicit register,
-and :func:`unlink_segments` re-balances before unlinking — ownership is
-explicit and the parent's post-join sweep (see
-``runtime/process.py``) covers crash paths instead.
+This module was the original home of the mp backend's shared-memory data
+plane (``SharedTableHandle``, ``ShmArena`` and the segment lifecycle
+helpers).  When the serving fleet needed the same machinery for compiled
+models, everything generic was refactored into :mod:`repro.data.shm` —
+import from there in new code.  Every public name keeps working from this
+path, unchanged.
 """
 
 from __future__ import annotations
 
-import secrets
-from dataclasses import dataclass
-from multiprocessing import resource_tracker, shared_memory
-from pathlib import Path
-
-import numpy as np
-
-from .schema import TableSchema
-from .table import DataTable
-
-#: Every segment this package creates starts with this, so leak checks and
-#: crash sweeps can identify ours in ``/dev/shm`` without false positives.
-SHM_NAME_PREFIX = "repro-shm-"
-
-#: Whether this Python exposes ``SharedMemory(..., track=...)`` (3.13+);
-#: if so the tracker never learns about our segments in the first place.
-#: Resolved lazily by :func:`_supports_track`.
-_HAS_TRACK_PARAM: bool | None = None
-
-
-def _supports_track() -> bool:
-    import inspect
-
-    global _HAS_TRACK_PARAM
-    if _HAS_TRACK_PARAM is None:
-        try:
-            params = inspect.signature(
-                shared_memory.SharedMemory.__init__
-            ).parameters
-            _HAS_TRACK_PARAM = "track" in params
-        except (TypeError, ValueError):  # pragma: no cover - C signature
-            _HAS_TRACK_PARAM = False
-    return _HAS_TRACK_PARAM
-
-
-def _untrack(segment: shared_memory.SharedMemory) -> None:
-    """Balance the implicit ``resource_tracker.register`` (pre-3.13)."""
-    try:
-        resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker already gone
-        pass
-
-
-def new_run_prefix() -> str:
-    """A fresh, collision-safe name prefix for one training run.
-
-    Short on purpose: POSIX limits shm names to ~30 chars on some
-    platforms and every segment name appends ``-w<id>-s<n>`` style
-    suffixes to this.
-    """
-    return f"{SHM_NAME_PREFIX}{secrets.token_hex(4)}"
-
-
-def create_segment(name: str, size: int) -> shared_memory.SharedMemory:
-    """Create an untracked shared-memory segment of at least ``size`` bytes."""
-    if _supports_track():
-        return shared_memory.SharedMemory(
-            name=name, create=True, size=max(1, size), track=False
-        )
-    segment = shared_memory.SharedMemory(
-        name=name, create=True, size=max(1, size)
-    )
-    _untrack(segment)
-    return segment
-
-
-def attach_segment(name: str) -> shared_memory.SharedMemory:
-    """Attach an existing segment by name, untracked."""
-    if _supports_track():
-        return shared_memory.SharedMemory(name=name, track=False)
-    segment = shared_memory.SharedMemory(name=name)
-    _untrack(segment)
-    return segment
-
-
-def _unlink_segment(segment: shared_memory.SharedMemory) -> None:
-    """Unlink without involving the resource tracker, tolerating races.
-
-    On Linux the segment is a plain tmpfs file, so removing it directly
-    keeps the tracker entirely out of the exchange — important because
-    the pre-3.13 ``SharedMemory.unlink`` path (register to balance its
-    unconditional UNREGISTER, then unlink) leaks a tracker entry if the
-    process is terminated between the two calls, which a parent's
-    ``terminate → join`` shutdown can do to a worker mid-teardown.
-    """
-    name = segment._name.lstrip("/")
-    root = Path("/dev/shm")
-    if root.is_dir():
-        try:
-            (root / name).unlink()
-        except FileNotFoundError:
-            pass  # someone else (a sweep) beat us to it
-        return
-    if not _supports_track():  # pragma: no cover - non-Linux
-        try:
-            resource_tracker.register(segment._name, "shared_memory")
-        except Exception:
-            pass
-    try:  # pragma: no cover - non-Linux
-        segment.unlink()
-    except FileNotFoundError:
-        # ``shm_unlink`` raised before the stdlib's own UNREGISTER ran;
-        # rebalance the register above so the tracker forgets the name.
-        if not _supports_track():
-            try:
-                resource_tracker.unregister(segment._name, "shared_memory")
-            except Exception:
-                pass
-
-
-def list_segments(prefix: str = SHM_NAME_PREFIX) -> list[str]:
-    """Names of live shared-memory segments matching ``prefix``.
-
-    Reads ``/dev/shm`` directly (Linux); on platforms without it there is
-    no portable enumeration, so the sweep degrades to a no-op and
-    lifecycle relies on the in-process teardown paths alone.
-    """
-    root = Path("/dev/shm")
-    if not root.is_dir():  # pragma: no cover - non-Linux
-        return []
-    return sorted(p.name for p in root.glob(f"{prefix}*") if p.is_file())
-
-
-def unlink_segments(names: list[str]) -> list[str]:
-    """Force-unlink the named segments (crash sweep); returns those removed."""
-    removed = []
-    for name in names:
-        try:
-            segment = attach_segment(name)
-        except FileNotFoundError:
-            continue
-        _unlink_segment(segment)
-        segment.close()
-        removed.append(name)
-    return removed
-
-
-# ----------------------------------------------------------------------
-# shared table
-# ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class SharedArraySpec:
-    """Everything needed to re-materialize one array from shared memory."""
-
-    segment: str
-    dtype: str
-    shape: tuple[int, ...]
-
-    @property
-    def nbytes(self) -> int:
-        """Payload bytes of the described array."""
-        count = 1
-        for dim in self.shape:
-            count *= dim
-        return count * np.dtype(self.dtype).itemsize
-
-
-class AttachedTable:
-    """A :class:`DataTable` of read-only views over attached segments.
-
-    Owns the attachments (not the segments): :meth:`close` unmaps them,
-    it never unlinks — that is the creator's job.
-    """
-
-    def __init__(
-        self,
-        table: DataTable,
-        segments: list[shared_memory.SharedMemory],
-        nbytes: int,
-    ) -> None:
-        self.table = table
-        self.nbytes = nbytes
-        self._segments = segments
-
-    def close(self) -> None:
-        """Unmap all attached segments (idempotent).
-
-        The table's arrays become invalid after this; callers drop both
-        together.
-        """
-        for segment in self._segments:
-            try:
-                segment.close()
-            except BufferError:  # pragma: no cover - view still exported
-                pass
-        self._segments = []
-
-
-class SharedTableHandle:
-    """A picklable description of a :class:`DataTable` living in shm.
-
-    Create once in the driver (:meth:`create` copies each column and the
-    target into its own named segment), ship the handle to workers under
-    any start method, :meth:`attach` there.  The creator — and only the
-    creator — calls :meth:`unlink` after the run; attachers only
-    :meth:`AttachedTable.close` their views.
-    """
-
-    def __init__(
-        self,
-        schema: TableSchema,
-        columns: list[SharedArraySpec],
-        target: SharedArraySpec,
-    ) -> None:
-        self.schema = schema
-        self.columns = columns
-        self.target = target
-        self._owned: list[shared_memory.SharedMemory] = []
-
-    # -- lifecycle ------------------------------------------------------
-    @classmethod
-    def create(cls, table: DataTable, prefix: str) -> "SharedTableHandle":
-        """Copy every array of ``table`` into named shm segments."""
-        owned: list[shared_memory.SharedMemory] = []
-
-        def place(array: np.ndarray, name: str) -> SharedArraySpec:
-            segment = create_segment(name, array.nbytes)
-            owned.append(segment)
-            view = np.ndarray(
-                array.shape, dtype=array.dtype, buffer=segment.buf
-            )
-            view[...] = array
-            return SharedArraySpec(name, str(array.dtype), tuple(array.shape))
-
-        try:
-            specs = [
-                place(column, f"{prefix}-c{i}")
-                for i, column in enumerate(table.columns)
-            ]
-            target = place(table.target, f"{prefix}-y")
-        except BaseException:
-            for segment in owned:
-                _unlink_segment(segment)
-                segment.close()
-            raise
-        handle = cls(table.schema, specs, target)
-        handle._owned = owned
-        return handle
-
-    def attach(self) -> AttachedTable:
-        """Rebuild the table as read-only zero-copy views in this process."""
-        segments: list[shared_memory.SharedMemory] = []
-
-        def view_of(spec: SharedArraySpec) -> np.ndarray:
-            segment = attach_segment(spec.segment)
-            segments.append(segment)
-            array = np.ndarray(
-                spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
-            )
-            array.flags.writeable = False
-            return array
-
-        try:
-            columns = [view_of(spec) for spec in self.columns]
-            target = view_of(self.target)
-            table = DataTable(self.schema, columns, target)
-        except BaseException:
-            for segment in segments:
-                segment.close()
-            raise
-        return AttachedTable(table, segments, self.nbytes)
-
-    def unlink(self) -> None:
-        """Destroy the segments (creator only; idempotent)."""
-        for segment in self._owned:
-            _unlink_segment(segment)
-            segment.close()
-        self._owned = []
-
-    # -- introspection --------------------------------------------------
-    @property
-    def nbytes(self) -> int:
-        """Total shared payload bytes (columns + target)."""
-        return sum(spec.nbytes for spec in self.columns) + self.target.nbytes
-
-    def segment_names(self) -> list[str]:
-        """All segment names this handle describes."""
-        return [spec.segment for spec in self.columns] + [self.target.segment]
-
-    # -- pickling (metadata only; live mappings never travel) -----------
-    def __getstate__(self) -> dict:
-        return {
-            "schema": self.schema,
-            "columns": self.columns,
-            "target": self.target,
-        }
-
-    def __setstate__(self, state: dict) -> None:
-        self.schema = state["schema"]
-        self.columns = state["columns"]
-        self.target = state["target"]
-        self._owned = []
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"SharedTableHandle(columns={len(self.columns)}, "
-            f"nbytes={self.nbytes})"
-        )
-
-
-# ----------------------------------------------------------------------
-# row-id arena
-# ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class ShmSlice:
-    """Wire descriptor of one array parked in a shared-memory arena.
-
-    This — not the array — is what crosses the transport for large row-id
-    sets: ``(segment, offset, count, dtype)``, a few dozen pickled bytes
-    regardless of how many million rows it describes.
-    """
-
-    segment: str
-    offset: int
-    count: int
-    dtype: str = "int64"
-
-    @property
-    def nbytes(self) -> int:
-        """Payload bytes the descriptor points at."""
-        return self.count * np.dtype(self.dtype).itemsize
-
-
-class _ArenaSegment:
-    """One pooled segment: a bump cursor plus a live-allocation count."""
-
-    __slots__ = ("shm", "name", "cursor", "live")
-
-    def __init__(self, shm: shared_memory.SharedMemory, name: str) -> None:
-        self.shm = shm
-        self.name = name
-        self.cursor = 0
-        self.live = 0
-
-
-class ShmArena:
-    """Pooled shared-memory writer (own segments) + reader (attach cache).
-
-    Each worker process owns one arena.  Writes bump-allocate out of
-    fixed-size segments (new segments are added on demand, oversized
-    payloads get a dedicated one); :meth:`free` decrements a segment's
-    live count and rewinds its cursor once it hits zero, so steady-state
-    training recycles the same few segments.  Reads resolve a
-    :class:`ShmSlice` against the local segment table or an attach cache
-    and return a private copy — the copy is what makes the owner's
-    recycling safe without any cross-process refcounting.
-    """
-
-    #: Default pooled-segment size; large enough that typical row-id sets
-    #: of one delegate store fit without a dedicated segment.
-    DEFAULT_SEGMENT_BYTES = 4 << 20
-
-    def __init__(
-        self, prefix: str, segment_bytes: int = DEFAULT_SEGMENT_BYTES
-    ) -> None:
-        self.prefix = prefix
-        self.segment_bytes = int(segment_bytes)
-        self._own: list[_ArenaSegment] = []
-        self._by_name: dict[str, _ArenaSegment] = {}
-        self._attached: dict[str, shared_memory.SharedMemory] = {}
-        #: Live (written, not yet freed) slice count — a leak detector.
-        self.live_slices = 0
-        self.bytes_written = 0
-        self.bytes_read = 0
-
-    # -- owner side -----------------------------------------------------
-    def write(self, array: np.ndarray) -> ShmSlice:
-        """Park ``array`` in the arena; returns its wire descriptor."""
-        array = np.ascontiguousarray(array)
-        segment = self._segment_with_room(array.nbytes)
-        offset = segment.cursor
-        destination = np.ndarray(
-            array.shape,
-            dtype=array.dtype,
-            buffer=segment.shm.buf,
-            offset=offset,
-        )
-        destination[...] = array
-        segment.cursor += -(-array.nbytes // 8) * 8  # keep 8-byte alignment
-        segment.live += 1
-        self.live_slices += 1
-        self.bytes_written += array.nbytes
-        return ShmSlice(segment.name, offset, int(array.size), str(array.dtype))
-
-    def free(self, ref: ShmSlice) -> None:
-        """Release one written slice; a fully-freed segment is recycled."""
-        segment = self._by_name.get(ref.segment)
-        if segment is None:
-            raise ValueError(f"slice {ref} does not belong to this arena")
-        segment.live -= 1
-        self.live_slices -= 1
-        if segment.live < 0:
-            raise RuntimeError(f"double free of arena segment {ref.segment}")
-        if segment.live == 0:
-            segment.cursor = 0
-
-    def _segment_with_room(self, nbytes: int) -> _ArenaSegment:
-        for segment in self._own:
-            if segment.cursor + nbytes <= segment.shm.size:
-                return segment
-        size = max(self.segment_bytes, nbytes)
-        name = f"{self.prefix}-s{len(self._own)}"
-        segment = _ArenaSegment(create_segment(name, size), name)
-        self._own.append(segment)
-        self._by_name[name] = segment
-        return segment
-
-    # -- reader side ----------------------------------------------------
-    def read(self, ref: ShmSlice) -> np.ndarray:
-        """Copy the described array out of shared memory.
-
-        A copy, deliberately: the receiver may retain the rows long after
-        the owner recycles the slot (a column task keeps ``I_x`` until it
-        learns whether it is the delegate), so zero-copy stops at the
-        wire and one memcpy buys lifetime independence.
-        """
-        local = self._by_name.get(ref.segment)
-        if local is not None:
-            buffer = local.shm.buf
-        else:
-            segment = self._attached.get(ref.segment)
-            if segment is None:
-                segment = attach_segment(ref.segment)
-                self._attached[ref.segment] = segment
-            buffer = segment.buf
-        view = np.ndarray(
-            (ref.count,),
-            dtype=np.dtype(ref.dtype),
-            buffer=buffer,
-            offset=ref.offset,
-        )
-        self.bytes_read += view.nbytes
-        return view.copy()
-
-    # -- teardown -------------------------------------------------------
-    def close(self) -> None:
-        """Unmap attachments, destroy owned segments (idempotent)."""
-        for segment in self._attached.values():
-            try:
-                segment.close()
-            except BufferError:  # pragma: no cover - view still exported
-                pass
-        self._attached = {}
-        for segment in self._own:
-            _unlink_segment(segment.shm)
-            try:
-                segment.shm.close()
-            except BufferError:  # pragma: no cover - view still exported
-                pass
-        self._own = []
-        self._by_name = {}
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"ShmArena(prefix={self.prefix!r}, segments={len(self._own)}, "
-            f"live={self.live_slices})"
-        )
+from .shm import (
+    SHM_NAME_PREFIX,
+    AttachedPack,
+    AttachedTable,
+    PackedArraySpec,
+    SharedArrayPack,
+    SharedArraySpec,
+    SharedTableHandle,
+    ShmArena,
+    ShmSlice,
+    attach_segment,
+    create_segment,
+    list_segments,
+    new_run_prefix,
+    unlink_segment,
+    unlink_segments,
+)
+
+__all__ = [
+    "SHM_NAME_PREFIX",
+    "AttachedPack",
+    "AttachedTable",
+    "PackedArraySpec",
+    "SharedArrayPack",
+    "SharedArraySpec",
+    "SharedTableHandle",
+    "ShmArena",
+    "ShmSlice",
+    "attach_segment",
+    "create_segment",
+    "list_segments",
+    "new_run_prefix",
+    "unlink_segment",
+    "unlink_segments",
+]

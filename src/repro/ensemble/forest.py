@@ -82,14 +82,16 @@ class ForestModel:
         """Total node count across all trees (model-size diagnostics)."""
         return sum(tree.n_nodes for tree in self.trees)
 
-    def compiled(self):
+    def compiled(self, quantize: bool = False):
         """Freeze this forest into its flat-array serving form.
 
         Returns a :class:`~repro.serving.batch.BatchPredictor` over the
         compiled arrays — the engine the serving layer deploys, with
-        parity-tested bit-identical predictions.
+        parity-tested bit-identical predictions (``quantize=True`` opts
+        into compact float32/int16 arrays within the documented
+        tolerance).
         """
         from ..serving.batch import BatchPredictor
         from ..serving.compiler import compile_forest
 
-        return BatchPredictor(compile_forest(self))
+        return BatchPredictor(compile_forest(self, quantize=quantize))

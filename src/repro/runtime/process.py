@@ -90,7 +90,7 @@ from ..core.tasks import (
     WorkerErrorMsg,
     WorkerStatsMsg,
 )
-from ..data.shared import (
+from ..data.shm import (
     SharedTableHandle,
     ShmArena,
     list_segments,

@@ -100,7 +100,7 @@ from ..core.tasks import (
     WorkerStatsMsg,
     WorkerWelcomeMsg,
 )
-from ..data.shared import (
+from ..data.shm import (
     SharedTableHandle,
     ShmArena,
     list_segments,

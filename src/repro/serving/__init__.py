@@ -1,4 +1,4 @@
-"""Inference serving: flat-array tree kernels, registry and server.
+"""Inference serving: flat-array tree kernels, registry, server, fleet.
 
 Training-side modules keep the paper's node-centric ``TreeNode`` objects —
 they are what the master grafts subtree-task results onto.  Serving has the
@@ -10,16 +10,25 @@ of work identify as the key to hardware-speed traversal) and serves them:
 * :mod:`compiler` — flatten ``DecisionTree`` / ``ForestModel`` / cascade
   forests into :class:`FlatTree` / :class:`FlatForest` /
   :class:`CompiledCascade` arrays, exact parity with node-based descent;
+  opt-in ``quantize=True`` compacts arrays to float32/int16 within the
+  :data:`~repro.serving.compiler.QUANTIZE_ATOL` tolerance;
 * :mod:`batch` — level-synchronous vectorized traversal over those arrays
   (``predict`` / ``predict_proba`` / truncated-depth prediction);
-* :mod:`registry` — content-hash keyed cache of compiled models, so
-  repeated prediction jobs stop reloading and recompiling;
+* :mod:`registry` — content-hash keyed, thread-safe cache of compiled
+  models, so repeated prediction jobs stop reloading and recompiling;
 * :mod:`server` — an in-process micro-batching :class:`PredictionServer`
-  with a bounded queue and latency/throughput counters.
+  with a bounded queue and latency/throughput counters;
+* :mod:`shm_model` — compiled models as shared-memory images
+  (:class:`SharedCompiledModel`): publish once, map everywhere;
+* :mod:`fleet` — :class:`ServingFleet`, N OS worker processes serving
+  contiguous shards of every micro-batch from the shared image, with hot
+  model swap and respawn-on-death (``PredictionServer(n_workers=N)``).
 """
 
 from .batch import BatchPredictor, traverse_tree
 from .compiler import (
+    QUANTIZE_ATOL,
+    QUANTIZE_MIN_AGREEMENT,
     CompiledCascade,
     FlatForest,
     FlatTree,
@@ -27,12 +36,19 @@ from .compiler import (
     compile_forest,
     compile_tree,
 )
+from .fleet import (
+    FleetClosedError,
+    FleetError,
+    FleetWorkerError,
+    ServingFleet,
+)
 from .registry import (
     ModelRegistry,
     RegistryEntry,
     default_registry,
     load_compiled_hdfs,
     load_compiled_local,
+    quantized_key,
 )
 from .server import (
     PredictionServer,
@@ -40,23 +56,34 @@ from .server import (
     ServingReport,
     ServingStats,
 )
+from .shm_model import AttachedModel, SharedCompiledModel, flat_fingerprint
 
 __all__ = [
+    "AttachedModel",
     "BatchPredictor",
     "CompiledCascade",
     "FlatForest",
     "FlatTree",
+    "FleetClosedError",
+    "FleetError",
+    "FleetWorkerError",
     "ModelRegistry",
     "PredictionServer",
+    "QUANTIZE_ATOL",
+    "QUANTIZE_MIN_AGREEMENT",
     "RegistryEntry",
     "ServerConfig",
+    "ServingFleet",
     "ServingReport",
     "ServingStats",
+    "SharedCompiledModel",
     "compile_cascade",
     "compile_forest",
     "compile_tree",
     "default_registry",
+    "flat_fingerprint",
     "load_compiled_hdfs",
     "load_compiled_local",
+    "quantized_key",
     "traverse_tree",
 ]

@@ -42,6 +42,16 @@ CAT_LEFT: int = 1
 CAT_RIGHT: int = 0
 CAT_STOP: int = -1
 
+#: Documented tolerance of quantized mode (``quantize=True``): per-row PMF
+#: (or regression) values differ from exact float64 mode by at most this,
+#: *except* for rows whose split-column value lies within one float32 ulp
+#: of a numeric threshold — float32 rounding may route such a row to the
+#: sibling subtree.  For continuous features the measure of that boundary
+#: band is ~1e-7 relative, so agreement in practice is ≈ 100%; the pinned
+#: regression test asserts label agreement >= :data:`QUANTIZE_MIN_AGREEMENT`.
+QUANTIZE_ATOL: float = 1e-6
+QUANTIZE_MIN_AGREEMENT: float = 0.995
+
 
 @dataclass
 class FlatTree:
@@ -60,6 +70,9 @@ class FlatTree:
     problem: ProblemKind
     n_classes: int = 0
     tree_id: int = 0
+    #: Compact dtypes (float32 thresholds/predictions, int16 ids); see
+    #: :data:`QUANTIZE_ATOL` for the accuracy contract.
+    quantized: bool = False
 
     @property
     def n_nodes(self) -> int:
@@ -118,6 +131,56 @@ class FlatTree:
             problem=self.problem,
             n_classes=self.n_classes,
             tree_id=self.tree_id,
+            quantized=self.quantized,
+        )
+
+    def quantized_copy(self) -> "FlatTree":
+        """This tree with compact array dtypes (opt-in ``quantize=True``).
+
+        Thresholds and predictions narrow to ``float32``; the small id
+        arrays (``feature``, ``depth``, ``cat_len``) narrow to ``int16``.
+        Node ids (``left`` / ``right``) stay ``int32`` — trees can exceed
+        32k nodes.  Shrinks the shm image roughly 2x and lets the kernel's
+        comparisons run twice as many lanes per SIMD register.  Accuracy
+        contract: see :data:`QUANTIZE_ATOL`.
+        """
+        if self.quantized:
+            return self
+        int16_max = int(np.iinfo(np.int16).max)
+        if self.feature.size and int(self.feature.max()) >= int16_max:
+            raise ValueError(
+                "cannot quantize: split column index exceeds int16 range"
+            )
+        if self.cat_len.size and int(self.cat_len.max()) >= int16_max:
+            raise ValueError(
+                "cannot quantize: categorical code range exceeds int16"
+            )
+        # Ceiling-quantize thresholds: the smallest float32 >= the exact
+        # float64 threshold.  Split points are data values, so rows with
+        # value == threshold are common; a plain cast rounds down half
+        # the time and flips every such row to the right child.  Rounding
+        # up keeps ``v <= t`` true for all v <= t — only values inside
+        # the sub-ulp interval (t, t32] can mis-route.
+        threshold32 = self.threshold.astype(np.float32)
+        rounded_down = threshold32.astype(np.float64) < self.threshold
+        threshold32[rounded_down] = np.nextafter(
+            threshold32[rounded_down], np.float32(np.inf)
+        )
+        return FlatTree(
+            feature=self.feature.astype(np.int16),
+            numeric=self.numeric.copy(),
+            threshold=threshold32,
+            left=self.left.copy(),
+            right=self.right.copy(),
+            depth=self.depth.astype(np.int16),
+            predictions=self.predictions.astype(np.float32),
+            cat_offset=self.cat_offset.copy(),
+            cat_len=self.cat_len.astype(np.int16),
+            cat_dir=self.cat_dir.copy(),
+            problem=self.problem,
+            n_classes=self.n_classes,
+            tree_id=self.tree_id,
+            quantized=True,
         )
 
 
@@ -137,6 +200,11 @@ class FlatForest:
     def n_trees(self) -> int:
         """Ensemble size."""
         return len(self.trees)
+
+    @property
+    def quantized(self) -> bool:
+        """Whether member trees carry compact quantized arrays."""
+        return self.trees[0].quantized
 
     @property
     def output_width(self) -> int:
@@ -163,13 +231,25 @@ class FlatForest:
             n_classes=self.n_classes,
         )
 
+    def quantized_copy(self) -> "FlatForest":
+        """This forest with every member tree quantized (no-op if already)."""
+        if self.quantized:
+            return self
+        return FlatForest(
+            trees=[t.quantized_copy() for t in self.trees],
+            problem=self.problem,
+            n_classes=self.n_classes,
+        )
 
-def compile_tree(tree: DecisionTree) -> FlatTree:
+
+def compile_tree(tree: DecisionTree, quantize: bool = False) -> FlatTree:
     """Flatten one trained tree into :class:`FlatTree` arrays.
 
-    Exactness contract: batch traversal of the result reproduces
-    ``tree.predict`` / ``tree.predict_proba`` bit-for-bit, including depth
-    truncation and the missing/unseen stop-at-node rule.
+    Exactness contract (default ``quantize=False``): batch traversal of
+    the result reproduces ``tree.predict`` / ``tree.predict_proba``
+    bit-for-bit, including depth truncation and the missing/unseen
+    stop-at-node rule.  ``quantize=True`` opts into compact dtypes
+    (:meth:`FlatTree.quantized_copy`) within :data:`QUANTIZE_ATOL`.
     """
     nodes: list[TreeNode] = list(tree.root.breadth_first())
     n = len(nodes)
@@ -228,7 +308,7 @@ def compile_tree(tree: DecisionTree) -> FlatTree:
         if cat_chunks
         else np.empty(0, dtype=np.int8)
     )
-    return FlatTree(
+    flat = FlatTree(
         feature=feature,
         numeric=numeric,
         threshold=threshold,
@@ -243,14 +323,17 @@ def compile_tree(tree: DecisionTree) -> FlatTree:
         n_classes=tree.n_classes,
         tree_id=tree.tree_id,
     )
+    return flat.quantized_copy() if quantize else flat
 
 
-def compile_forest(model: ForestModel | DecisionTree) -> FlatForest:
+def compile_forest(
+    model: ForestModel | DecisionTree, quantize: bool = False
+) -> FlatForest:
     """Compile a forest (or a single tree, wrapped as a 1-forest)."""
     if isinstance(model, DecisionTree):
         model = ForestModel([model])
     return FlatForest(
-        trees=[compile_tree(t) for t in model.trees],
+        trees=[compile_tree(t, quantize=quantize) for t in model.trees],
         problem=model.problem,
         n_classes=model.n_classes,
     )

@@ -21,10 +21,21 @@ differ by orders of magnitude in size) and an optional entry-count cap
 model still serves (and is simply not retained alongside anything else).
 Serving deployments pin a handful of hot models; a cold model is one
 reload away.
+
+The registry is **thread-safe**: the serving fleet's parent process hits
+it from the caller thread (hot swaps), the dispatcher thread (compile on
+first submit) and the collector thread (stats), so every lookup/insert/
+eviction runs under one re-entrant lock.  ``get_or_compile`` holds the
+lock across its whole read-compile-insert sequence — compilation is
+serialized on purpose, because two racing threads compiling the same
+content hash would both pay the flattening cost and one result would be
+thrown away.  Registries are per-process; fleet workers never share one
+(they attach compiled images by shm name instead).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -60,6 +71,11 @@ class RegistryEntry:
         """Ensemble size of the cached model."""
         return self.compiled.n_trees
 
+    @property
+    def quantized(self) -> bool:
+        """Whether the compiled form uses compact quantized arrays."""
+        return self.compiled.quantized
+
     def nbytes(self) -> int:
         """Bytes held by the compiled arrays (cache accounting)."""
         return self.compiled.nbytes()
@@ -89,6 +105,17 @@ class RegistryStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+#: Cache-key suffix separating a model's quantized compiled form from its
+#: exact one — same source trees, different arrays, so they must never
+#: share a cache line.
+QUANTIZED_KEY_SUFFIX = "+q32"
+
+
+def quantized_key(key: str, quantize: bool) -> str:
+    """The registry key of ``key``'s exact or quantized compiled form."""
+    return key + QUANTIZED_KEY_SUFFIX if quantize else key
+
+
 class ModelRegistry:
     """LRU cache of compiled models keyed by persisted-form content hash.
 
@@ -96,6 +123,9 @@ class ModelRegistry:
     unit that tracks real memory); ``capacity`` optionally also bounds the
     entry count (``None`` disables it).  Either bound evicts least
     recently used first, but never the entry just inserted.
+
+    All operations are safe to call from multiple threads (one re-entrant
+    lock; see the module docstring for why compilation stays inside it).
     """
 
     def __init__(
@@ -112,60 +142,79 @@ class ModelRegistry:
         self.stats = RegistryStats()
         self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
         self._total_bytes = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> list[str]:
         """Cached fingerprints, least- to most-recently used."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def total_bytes(self) -> int:
         """Compiled bytes currently resident across all entries."""
-        return self._total_bytes
+        with self._lock:
+            return self._total_bytes
 
     def clear(self) -> None:
         """Drop every cached model (counters are kept)."""
-        self._entries.clear()
-        self._total_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._total_bytes = 0
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> RegistryEntry | None:
         """Cache lookup; refreshes LRU position and counts hit/miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
-    def put(self, key: str, model: ForestModel) -> RegistryEntry:
-        """Compile and cache a model under ``key``, evicting LRU overflow."""
-        compiled = compile_forest(model)
-        entry = RegistryEntry(
-            key=key,
-            model=model,
-            compiled=compiled,
-            predictor=BatchPredictor(compiled),
-        )
-        previous = self._entries.pop(key, None)
-        if previous is not None:
-            self._total_bytes -= previous.nbytes()
-        self._entries[key] = entry
-        self._total_bytes += entry.nbytes()
-        self.stats.compiled_nodes += compiled.total_nodes()
-        self.stats.peak_bytes = max(self.stats.peak_bytes, self._total_bytes)
-        while len(self._entries) > 1 and self._over_budget():
-            _, evicted = self._entries.popitem(last=False)
-            self._total_bytes -= evicted.nbytes()
-            self.stats.evictions += 1
-            self.stats.bytes_evicted += evicted.nbytes()
-        return entry
+    def put(
+        self, key: str, model: ForestModel, quantize: bool = False
+    ) -> RegistryEntry:
+        """Compile and cache a model under ``key``, evicting LRU overflow.
+
+        The whole compile-insert-evict sequence runs under the registry
+        lock: hit/miss counters, ``_total_bytes`` and the LRU order stay
+        mutually consistent no matter how many threads race, and two
+        threads can never both compile the same key (the second blocks,
+        then replaces — same arrays, no corruption).
+        """
+        with self._lock:
+            compiled = compile_forest(model, quantize=quantize)
+            entry = RegistryEntry(
+                key=key,
+                model=model,
+                compiled=compiled,
+                predictor=BatchPredictor(compiled),
+            )
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._total_bytes -= previous.nbytes()
+            self._entries[key] = entry
+            self._total_bytes += entry.nbytes()
+            self.stats.compiled_nodes += compiled.total_nodes()
+            self.stats.peak_bytes = max(
+                self.stats.peak_bytes, self._total_bytes
+            )
+            while len(self._entries) > 1 and self._over_budget():
+                _, evicted = self._entries.popitem(last=False)
+                self._total_bytes -= evicted.nbytes()
+                self.stats.evictions += 1
+                self.stats.bytes_evicted += evicted.nbytes()
+            return entry
 
     def _over_budget(self) -> bool:
         """Whether either retention bound is currently exceeded."""
@@ -176,22 +225,30 @@ class ModelRegistry:
         )
 
     def get_or_compile(
-        self, model: ForestModel | DecisionTree, key: str | None = None
+        self,
+        model: ForestModel | DecisionTree,
+        key: str | None = None,
+        quantize: bool = False,
     ) -> tuple[RegistryEntry, bool]:
         """Return the cached entry for an in-memory model, compiling once.
 
         The key defaults to the model's persisted-form fingerprint, so the
         same trees arriving as objects, local files or DFS files all share
-        one cache line.  Returns ``(entry, was_cache_hit)``.
+        one cache line; ``quantize=True`` selects the separate quantized
+        line (:func:`quantized_key`).  Returns ``(entry, was_cache_hit)``.
+        Atomic under the registry lock — concurrent callers with the same
+        content get the same entry and exactly one compilation happens.
         """
         if isinstance(model, DecisionTree):
             model = ForestModel([model])
         if key is None:
             key = fingerprint_trees(model.trees)
-        entry = self.get(key)
-        if entry is not None:
-            return entry, True
-        return self.put(key, model), False
+        key = quantized_key(key, quantize)
+        with self._lock:
+            entry = self.get(key)
+            if entry is not None:
+                return entry, True
+            return self.put(key, model, quantize=quantize), False
 
 
 #: Process-wide registry used when callers don't bring their own.

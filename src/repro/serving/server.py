@@ -10,6 +10,17 @@ kernel amortizes its per-call overhead, flushing a batch when either
 — the classic throughput/latency trade dial.  The request queue is bounded;
 when it is full, :meth:`PredictionServer.submit` fails fast with
 :class:`QueueFullError` instead of buffering unboundedly (load shedding).
+Rejections are counted *structurally* — queue-full backpressure separately
+from submits that arrive after shutdown began — so a saturated server and
+a mis-sequenced client look different in the shutdown summary.
+
+With ``n_workers=N`` the kernel call is delegated to a
+:class:`~repro.serving.fleet.ServingFleet`: N OS processes attach the
+compiled model from one shared-memory segment and each serves a
+contiguous shard of every micro-batch.  The front door (submit / futures
+/ micro-batching) is identical; exact-mode results are bit-identical to
+the in-process path.  ``swap_model`` hot-swaps the served model in both
+modes.
 
 Per-request latency and throughput counters are kept in the same spirit as
 ``cluster/metrics.py``: a :class:`ServingReport` dataclass with paper-style
@@ -33,6 +44,7 @@ from ..data.schema import ProblemKind
 from ..ensemble.forest import ForestModel
 from .batch import BatchPredictor
 from .compiler import FlatForest
+from .fleet import ServingFleet
 from .registry import ModelRegistry, default_registry
 
 
@@ -70,12 +82,20 @@ class ServingStats:
     n_requests: int = 0
     n_rows: int = 0
     n_batches: int = 0
-    rejected: int = 0
+    #: Submits shed because the bounded queue was full (backpressure).
+    rejected_queue_full: int = 0
+    #: Submits refused because the server was stopping or stopped.
+    rejected_shutdown: int = 0
     kernel_seconds: float = 0.0
     first_enqueue: float | None = None
     last_complete: float | None = None
     #: Most recent per-request latencies (seconds); bounded window.
     latencies: deque = field(default_factory=lambda: deque(maxlen=65536))
+
+    @property
+    def rejected(self) -> int:
+        """Total rejected submits, all causes (compat roll-up)."""
+        return self.rejected_queue_full + self.rejected_shutdown
 
     def latency_percentile_ms(self, q: float) -> float:
         """Latency percentile over the recorded window, in milliseconds."""
@@ -98,24 +118,42 @@ class ServingReport:
     p99_latency_ms: float
     max_latency_ms: float
     kernel_seconds: float
+    #: Structured rejection causes (``rejected`` is their roll-up).
+    rejected_queue_full: int = 0
+    rejected_shutdown: int = 0
+    #: Fleet-mode counters (``ServingFleet.stats()``); ``None`` in-process.
+    fleet: dict | None = None
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        line = (
             f"req={self.n_requests} rows={self.n_rows} "
             f"batches={self.n_batches} (avg {self.avg_batch_rows:.1f} rows) "
             f"{self.rows_per_second:.0f} rows/s "
             f"p50={self.p50_latency_ms:.2f}ms p99={self.p99_latency_ms:.2f}ms "
             f"rejected={self.rejected}"
         )
+        if self.rejected:
+            line += (
+                f" (queue_full={self.rejected_queue_full}"
+                f" shutdown={self.rejected_shutdown})"
+            )
+        if self.fleet is not None:
+            line += (
+                f" workers={self.fleet['n_workers']}"
+                f" respawns={self.fleet['respawns']}"
+            )
+        return line
 
     def to_dict(self) -> dict:
         """Plain-dict form for JSON emission."""
-        return {
+        out = {
             "n_requests": self.n_requests,
             "n_rows": self.n_rows,
             "n_batches": self.n_batches,
             "rejected": self.rejected,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_shutdown": self.rejected_shutdown,
             "avg_batch_rows": self.avg_batch_rows,
             "rows_per_second": self.rows_per_second,
             "p50_latency_ms": self.p50_latency_ms,
@@ -123,6 +161,9 @@ class ServingReport:
             "max_latency_ms": self.max_latency_ms,
             "kernel_seconds": self.kernel_seconds,
         }
+        if self.fleet is not None:
+            out["fleet"] = self.fleet
+        return out
 
 
 class PredictionFuture:
@@ -175,6 +216,12 @@ class PredictionServer:
 
         with PredictionServer(model) as server:
             labels = server.predict([row])
+
+    ``n_workers=N`` (N >= 1) serves every micro-batch through a
+    :class:`~repro.serving.fleet.ServingFleet` of N OS processes mapping
+    the model from shared memory; ``None`` (default) serves in-process.
+    ``quantize=True`` serves the compact float32/int16 compiled form
+    (see ``compiler.QUANTIZE_ATOL`` for the accuracy contract).
     """
 
     def __init__(
@@ -182,29 +229,58 @@ class PredictionServer:
         model: BatchPredictor | FlatForest | ForestModel | DecisionTree,
         config: ServerConfig | None = None,
         registry: ModelRegistry | None = None,
+        n_workers: int | None = None,
+        quantize: bool = False,
     ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1 (or None for in-process)")
         self.config = config or ServerConfig()
-        if isinstance(model, BatchPredictor):
+        self.n_workers = n_workers
+        self.quantize = quantize
+        self._registry = default_registry() if registry is None else registry
+        if isinstance(model, BatchPredictor) and not (
+            quantize and not model.forest.quantized
+        ):
+            # Preserve the caller's instance (tests and callers may
+            # subclass the predictor to instrument the kernel call).
             self.predictor = model
-        elif isinstance(model, FlatForest):
-            self.predictor = BatchPredictor(model)
         else:
-            reg = default_registry() if registry is None else registry
-            entry, _ = reg.get_or_compile(model)
-            self.predictor = entry.predictor
+            self.predictor = BatchPredictor(self._resolve_flat(model))
+        self._fleet: ServingFleet | None = (
+            ServingFleet(n_workers, registry=self._registry)
+            if n_workers is not None
+            else None
+        )
         self.stats = ServingStats()
         self._queue: Queue = Queue(maxsize=self.config.queue_capacity)
         self._thread: threading.Thread | None = None
         self._stopping = threading.Event()
         self._lock = threading.Lock()
 
+    def _resolve_flat(self, model) -> FlatForest:
+        """Compile/unwrap any accepted model form into a FlatForest."""
+        if isinstance(model, BatchPredictor):
+            model = model.forest
+        if isinstance(model, FlatForest):
+            return model.quantized_copy() if self.quantize else model
+        entry, _ = self._registry.get_or_compile(model, quantize=self.quantize)
+        return entry.compiled
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "PredictionServer":
-        """Start the dispatcher thread (idempotent)."""
+        """Start the dispatcher thread — and the fleet, in fleet mode.
+
+        Idempotent.  Fleet mode launches the worker processes and
+        publishes the compiled model to shared memory before the first
+        request is admitted.
+        """
         with self._lock:
             if self._thread is None:
+                if self._fleet is not None:
+                    self._fleet.start()
+                    self._fleet.publish(self.predictor.forest)
                 self._stopping.clear()
                 self._thread = threading.Thread(
                     target=self._run, name="repro-serving", daemon=True
@@ -213,7 +289,11 @@ class PredictionServer:
         return self
 
     def stop(self) -> None:
-        """Drain the queue, serve everything admitted, stop the thread."""
+        """Drain the queue, serve everything admitted, stop the thread.
+
+        Fleet mode then reaps the worker processes and unlinks every
+        published model segment.
+        """
         with self._lock:
             thread = self._thread
             if thread is None:
@@ -221,6 +301,8 @@ class PredictionServer:
             self._stopping.set()
             thread.join()
             self._thread = None
+            if self._fleet is not None:
+                self._fleet.close()
 
     def __enter__(self) -> "PredictionServer":
         return self.start()
@@ -246,7 +328,8 @@ class PredictionServer:
         values as integer codes (``-1`` / NaN for missing).  Raises
         :class:`QueueFullError` when the bounded queue is full.
         """
-        if self._thread is None:
+        if self._thread is None or self._stopping.is_set():
+            self.stats.rejected_shutdown += 1
             raise RuntimeError("server is not running (call start())")
         matrix = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         if matrix.ndim != 2 or matrix.shape[0] == 0:
@@ -257,7 +340,7 @@ class PredictionServer:
         try:
             self._queue.put_nowait(request)
         except Full:
-            self.stats.rejected += 1
+            self.stats.rejected_queue_full += 1
             raise QueueFullError(
                 f"queue full ({self.config.queue_capacity} requests)"
             ) from None
@@ -272,6 +355,40 @@ class PredictionServer:
     def predict_proba(self, rows, timeout: float | None = 30.0) -> np.ndarray:
         """Submit one request and block for its class PMFs."""
         return self.submit(rows, proba=True).result(timeout)
+
+    # ------------------------------------------------------------------
+    # model management
+    # ------------------------------------------------------------------
+    def swap_model(
+        self,
+        model: BatchPredictor | FlatForest | ForestModel | DecisionTree,
+    ) -> str | None:
+        """Hot-swap the served model without dropping a request.
+
+        The replacement compiles (honouring the server's ``quantize``
+        flag) and becomes visible atomically: in-flight micro-batches
+        finish on whichever model they started with.  Fleet mode
+        publishes the new image to shared memory and returns its content
+        key — workers re-attach on their next shard, and the retired
+        segment is unlinked once its last in-flight shard drains.
+        Swapping identical content is a no-op (same hash, same key), so
+        rollback is just swapping the previous model back in.
+        """
+        flat = self._resolve_flat(model)
+        if flat.problem is not self.predictor.problem:
+            raise ValueError(
+                "hot swap cannot change the problem kind "
+                f"({self.predictor.problem.value} -> {flat.problem.value})"
+            )
+        self.predictor = BatchPredictor(flat)
+        if self._fleet is not None and self._fleet.running:
+            return self._fleet.publish(flat)
+        return None
+
+    @property
+    def model_key(self) -> str | None:
+        """Content hash of the fleet-published model (``None`` in-process)."""
+        return self._fleet.model_key if self._fleet is not None else None
 
     # ------------------------------------------------------------------
     # metrics
@@ -296,6 +413,9 @@ class PredictionServer:
             p99_latency_ms=s.latency_percentile_ms(99),
             max_latency_ms=float(max_ms),
             kernel_seconds=s.kernel_seconds,
+            rejected_queue_full=s.rejected_queue_full,
+            rejected_shutdown=s.rejected_shutdown,
+            fleet=self._fleet.stats() if self._fleet is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -339,7 +459,20 @@ class PredictionServer:
         )
         started = time.monotonic()
         try:
-            if classification:
+            # Fleet and in-process paths run the same row-wise math:
+            # classification always computes the proba matrix (so one
+            # micro-batch can mix proba and label requests) and argmaxes
+            # locally; regression computes values.  The fleet shards are
+            # contiguous row ranges, so exact-mode output is
+            # bit-identical either way.
+            if self._fleet is not None:
+                raw = self._fleet.predict_batch(
+                    matrix, proba=classification,
+                    max_depth=self.config.max_depth,
+                )
+                proba = raw if classification else None
+                labels = np.argmax(raw, axis=1) if classification else raw
+            elif classification:
                 proba = self.predictor.predict_proba_matrix(
                     matrix, self.config.max_depth
                 )

@@ -699,3 +699,353 @@ class TestCliServing:
         assert code == 0
         assert "rows/s" in output
         assert serve_out.read_text() == predict_out.read_text()
+
+
+# ----------------------------------------------------------------------
+# quantized compilation (opt-in compact arrays)
+# ----------------------------------------------------------------------
+import os as _os
+
+from repro.data.shm import list_segments
+from repro.serving import (
+    QUANTIZE_ATOL,
+    QUANTIZE_MIN_AGREEMENT,
+    ServingFleet,
+    SharedCompiledModel,
+    flat_fingerprint,
+)
+from repro.serving.fleet import FLEET_KILL_ENV
+from repro.runtime.base import WorkerDiedError
+
+
+def _matrix_of(table):
+    return np.column_stack(
+        [np.asarray(col, dtype=np.float64) for col in table.columns]
+    )
+
+
+class TestQuantize:
+    def test_dtypes_and_size(self, small_mixed_classification):
+        forest = make_forest(small_mixed_classification, n_trees=2)
+        exact = compile_forest(forest)
+        quant = compile_forest(forest, quantize=True)
+        assert not exact.quantized and quant.quantized
+        tree = quant.trees[0]
+        assert tree.threshold.dtype == np.float32
+        assert tree.predictions.dtype == np.float32
+        assert tree.feature.dtype == np.int16
+        assert tree.depth.dtype == np.int16
+        assert tree.cat_len.dtype == np.int16
+        assert quant.nbytes() < exact.nbytes()
+        # Quantizing twice is a no-op (identity, not another copy).
+        assert quant.quantized_copy() is quant
+
+    def test_accuracy_contract(self):
+        """Quantized serving honours the documented tolerance constants."""
+        for seed in range(4):
+            table = make_table(seed, missing=0.1 if seed % 2 else 0.0)
+            forest = make_forest(table, n_trees=3, seed=seed)
+            mat = _matrix_of(table)
+            exact = BatchPredictor(compile_forest(forest))
+            quant = BatchPredictor(compile_forest(forest, quantize=True))
+            p, q = exact.predict_proba_matrix(mat), quant.predict_proba_matrix(mat)
+            assert np.abs(p - q).max() <= QUANTIZE_ATOL
+            agreement = float(
+                (np.argmax(p, axis=1) == np.argmax(q, axis=1)).mean()
+            )
+            assert agreement >= QUANTIZE_MIN_AGREEMENT
+
+    def test_threshold_quantization_rounds_up(self, small_mixed_classification):
+        """float32 thresholds are the ceiling of the exact ones: a row whose
+        value equals the split point must still route left (split points
+        are data values, so exact equality is the common case)."""
+        forest = make_forest(small_mixed_classification, n_trees=2)
+        for et, qt in zip(
+            compile_forest(forest).trees,
+            compile_forest(forest, quantize=True).trees,
+        ):
+            numeric = et.numeric & (et.feature >= 0)
+            exact64 = et.threshold[numeric]
+            quant64 = qt.threshold[numeric].astype(np.float64)
+            assert np.all(quant64 >= exact64)
+
+    def test_registry_separate_cache_lines(self, small_mixed_classification):
+        forest = make_forest(small_mixed_classification, n_trees=2)
+        registry = ModelRegistry(capacity=4)
+        exact, hit_e = registry.get_or_compile(forest)
+        quant, hit_q = registry.get_or_compile(forest, quantize=True)
+        assert not hit_e and not hit_q
+        assert quant.key == exact.key + "+q32"
+        assert quant.quantized and not exact.quantized
+        again, hit = registry.get_or_compile(forest, quantize=True)
+        assert hit and again is quant
+
+
+# ----------------------------------------------------------------------
+# registry thread-safety
+# ----------------------------------------------------------------------
+class TestRegistryConcurrency:
+    def test_racing_get_or_compile_is_atomic(self, small_mixed_classification):
+        forest = make_forest(small_mixed_classification, n_trees=2)
+        registry = ModelRegistry(capacity=4)
+        entries, errors = [], []
+        gate = threading.Barrier(8)
+
+        def hammer():
+            try:
+                gate.wait(timeout=10.0)
+                entry, _ = registry.get_or_compile(forest)
+                entries.append(entry)
+            except BaseException as err:  # noqa: BLE001 - surfaced below
+                errors.append(err)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        # Exactly one compilation; every thread got the same entry.
+        assert len(entries) == 8
+        assert len({id(e) for e in entries}) == 1
+        assert len(registry) == 1
+        assert registry.stats.misses == 1
+        assert registry.stats.hits == 7
+
+    def test_concurrent_put_and_read_keep_accounting_consistent(self):
+        registry = ModelRegistry(capacity=2)
+        tables = [make_table(seed, rows=60) for seed in range(4)]
+        forests = [make_forest(t, n_trees=1, max_depth=3) for t in tables]
+        errors = []
+        gate = threading.Barrier(4)
+
+        def churn(forest):
+            try:
+                gate.wait(timeout=10.0)
+                for _ in range(5):
+                    entry, _ = registry.get_or_compile(forest)
+                    registry.get(entry.key)
+                    registry.keys()
+                    registry.total_bytes()
+            except BaseException as err:  # noqa: BLE001 - surfaced below
+                errors.append(err)
+
+        threads = [threading.Thread(target=churn, args=(f,)) for f in forests]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors
+        assert len(registry) <= 2  # capacity honoured under the race
+        # Byte accounting matches exactly what is resident.
+        resident = sum(
+            registry.get(key).nbytes() for key in registry.keys()
+        )
+        assert registry.total_bytes() == resident
+
+
+# ----------------------------------------------------------------------
+# structured rejection counters
+# ----------------------------------------------------------------------
+class TestRejectionCounters:
+    def test_queue_full_and_shutdown_are_distinguished(
+        self, small_mixed_classification
+    ):
+        forest = make_forest(small_mixed_classification, n_trees=1)
+        server = PredictionServer(forest)
+        row = _matrix_of(small_mixed_classification)[:1]
+        with pytest.raises(RuntimeError):
+            server.submit(row)  # not started yet: a shutdown rejection
+        assert server.stats.rejected_shutdown == 1
+        assert server.stats.rejected_queue_full == 0
+        assert server.stats.rejected == 1
+        with server:
+            server.predict(row, timeout=10.0)
+        with pytest.raises(RuntimeError):
+            server.submit(row)  # stopped again
+        report = server.report()
+        assert report.rejected_shutdown == 2
+        assert report.rejected_queue_full == 0
+        assert report.rejected == 2
+        payload = report.to_dict()
+        assert payload["rejected_queue_full"] == 0
+        assert payload["rejected_shutdown"] == 2
+        assert payload["rejected"] == 2
+        assert "queue_full=0" in report.summary()
+        assert "shutdown=2" in report.summary()
+
+
+# ----------------------------------------------------------------------
+# the serving fleet
+# ----------------------------------------------------------------------
+class TestFleet:
+    def test_exact_mode_bit_identical_to_single_process(self):
+        table = make_table(3, missing=0.1)
+        forest = make_forest(table, n_trees=3, seed=3)
+        mat = _matrix_of(table)
+        with PredictionServer(forest) as solo:
+            ref_proba = solo.predict_proba(mat)
+            ref_labels = solo.predict(mat)
+        before = set(list_segments())
+        with PredictionServer(forest, n_workers=3) as server:
+            proba = server.predict_proba(mat)
+            labels = server.predict(mat)
+            assert np.array_equal(proba, ref_proba)
+            assert np.array_equal(labels, ref_labels)
+        assert set(list_segments()) == before  # all model segments gone
+
+    def test_regression_parity(self, small_regression):
+        forest = make_forest(small_regression, n_trees=2)
+        mat = _matrix_of(small_regression)
+        with PredictionServer(forest) as solo:
+            ref = solo.predict(mat)
+        with PredictionServer(forest, n_workers=2) as server:
+            out = server.predict(mat)
+        assert np.array_equal(out, ref)
+
+    def test_quantized_fleet_within_tolerance(self):
+        table = make_table(5)
+        forest = make_forest(table, n_trees=3, seed=5)
+        mat = _matrix_of(table)
+        with PredictionServer(forest) as solo:
+            ref = solo.predict_proba(mat)
+        with PredictionServer(forest, n_workers=2, quantize=True) as server:
+            out = server.predict_proba(mat)
+            assert server.report().fleet["model_quantized"]
+        assert np.abs(out - ref).max() <= QUANTIZE_ATOL
+        agreement = float(
+            (np.argmax(out, axis=1) == np.argmax(ref, axis=1)).mean()
+        )
+        assert agreement >= QUANTIZE_MIN_AGREEMENT
+
+    def test_zero_per_worker_copies(self):
+        """Every worker maps exactly the published image — no copies."""
+        table = make_table(2)
+        forest = make_forest(table, n_trees=2, seed=2)
+        mat = _matrix_of(table)
+        with PredictionServer(forest, n_workers=3) as server:
+            server.predict(mat)
+            report = server.report()
+            model_nbytes = report.fleet["model_nbytes"]
+            assert model_nbytes > 0
+            for worker in report.fleet["workers"]:
+                assert worker["shm_bytes_mapped"] == model_nbytes
+                assert worker["model_attaches"] == 1
+
+    def test_hot_swap_reattaches_and_rolls_back(self):
+        table = make_table(4)
+        forest_a = make_forest(table, n_trees=2, seed=4)
+        forest_b = make_forest(table, n_trees=3, seed=44)
+        mat = _matrix_of(table)
+        with PredictionServer(forest_a) as solo:
+            ref_a = solo.predict_proba(mat)
+        with PredictionServer(forest_b) as solo:
+            ref_b = solo.predict_proba(mat)
+        before = set(list_segments())
+        with PredictionServer(forest_a, n_workers=2) as server:
+            key_a = server.model_key
+            assert np.array_equal(server.predict_proba(mat), ref_a)
+            key_b = server.swap_model(forest_b)
+            assert key_b != key_a
+            assert np.array_equal(server.predict_proba(mat), ref_b)
+            # Re-publishing the same content is the rollback path.
+            assert server.swap_model(forest_a) == key_a
+            assert np.array_equal(server.predict_proba(mat), ref_a)
+            report = server.report()
+            for worker in report.fleet["workers"]:
+                assert worker["model_attaches"] == 3  # a, b, a again
+            with pytest.raises(ValueError, match="problem kind"):
+                server.swap_model(
+                    make_forest(
+                        make_table(1, problem=ProblemKind.REGRESSION),
+                        n_trees=1,
+                    )
+                )
+        assert set(list_segments()) == before
+
+    def test_killed_worker_respawns_without_losing_results(self, monkeypatch):
+        """A worker hard-killed mid-shard: its batch completes (retried on
+        the respawn), later batches are exact, nothing is duplicated."""
+        monkeypatch.setenv(FLEET_KILL_ENV, "2:1")
+        table = make_table(6, missing=0.1)
+        forest = make_forest(table, n_trees=2, seed=6)
+        mat = _matrix_of(table)
+        with PredictionServer(forest) as solo:
+            ref = solo.predict_proba(mat)
+        before = set(list_segments())
+        with PredictionServer(forest, n_workers=2) as server:
+            for _ in range(3):
+                out = server.predict_proba(mat)
+                assert out.shape == ref.shape
+                assert np.array_equal(out, ref)
+            report = server.report()
+            assert report.fleet["respawns"] == 1
+            per_worker = {
+                w["worker_id"]: w for w in report.fleet["workers"]
+            }
+            assert per_worker[2]["respawns"] == 1
+            # No result was dropped or double-counted: per-worker rows sum
+            # to exactly the rows served.
+            total_rows = sum(w["rows"] for w in report.fleet["workers"])
+            assert total_rows == 3 * len(mat)
+        assert set(list_segments()) == before
+
+    def test_retry_budget_exhaustion_is_structured(self, monkeypatch):
+        monkeypatch.setenv(FLEET_KILL_ENV, "1:1")
+        table = make_table(7)
+        forest = make_forest(table, n_trees=1, seed=7)
+        mat = _matrix_of(table)
+        with ServingFleet(n_workers=1, max_shard_retries=0) as fleet:
+            fleet.publish(forest)
+            with pytest.raises(WorkerDiedError, match="giving up"):
+                fleet.predict_batch(mat, proba=True, timeout=30.0)
+
+    def test_shared_model_fingerprint_is_content_addressed(self):
+        table = make_table(8)
+        forest = make_forest(table, n_trees=2, seed=8)
+        flat = compile_forest(forest)
+        assert flat_fingerprint(flat) == flat_fingerprint(compile_forest(forest))
+        assert flat_fingerprint(flat) != flat_fingerprint(
+            compile_forest(forest, quantize=True)
+        )
+
+    def test_fleet_api_misuse_is_loud(self):
+        fleet = ServingFleet(n_workers=1)
+        with pytest.raises(RuntimeError, match="not running"):
+            fleet.predict_batch(np.zeros((1, 1)), proba=False)
+        with fleet:
+            with pytest.raises(RuntimeError, match="no model"):
+                fleet.predict_batch(np.zeros((1, 1)), proba=False)
+        with pytest.raises(ValueError):
+            ServingFleet(n_workers=0)
+
+
+class TestCliFleetServing(TestCliServing):
+    __test__ = True
+
+    def test_serve_with_workers_matches_in_process(self, trained):
+        csv_path, model_dir, tmp_path = trained
+        solo_out = tmp_path / "solo.csv"
+        fleet_out = tmp_path / "fleet.csv"
+        code, _ = self._run(
+            [
+                "serve", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--out", str(solo_out),
+                "--request-rows", "7", "--batch-size", "32",
+            ]
+        )
+        assert code == 0
+        code, output = self._run(
+            [
+                "serve", "--csv", str(csv_path), "--target", "label",
+                "--model-dir", str(model_dir), "--out", str(fleet_out),
+                "--request-rows", "7", "--batch-size", "32",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert fleet_out.read_text() == solo_out.read_text()
+        assert "workers=2" in output
+        assert "rejections: queue_full=0 shutdown=0" in output
+        assert "worker 1:" in output and "worker 2:" in output
+        assert "shm_bytes_mapped=" in output

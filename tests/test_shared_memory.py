@@ -28,6 +28,7 @@ from repro.data.shared import (
     new_run_prefix,
     unlink_segments,
 )
+from repro.data.shm import SharedArrayPack
 from repro.datasets import dataset_spec, generate
 
 
@@ -250,3 +251,200 @@ class TestSweep:
         assert removed == names
         assert list_segments(prefix) == []
         assert unlink_segments(names) == []  # idempotent on gone names
+
+
+# ----------------------------------------------------------------------
+# module move: repro.data.shm is the real module, shared re-exports
+# ----------------------------------------------------------------------
+class TestModulePath:
+    def test_shm_module_is_canonical(self):
+        import repro.data.shm as shm
+
+        assert SharedTableHandle.__module__ == "repro.data.shm"
+        assert ShmArena.__module__ == "repro.data.shm"
+        assert SharedArrayPack.__module__ == "repro.data.shm"
+        assert shm.SHM_NAME_PREFIX == SHM_NAME_PREFIX
+
+    def test_shared_compat_reexports_same_objects(self):
+        """``repro.data.shared`` imports stay valid and alias, not copy."""
+        import repro.data.shared as shared
+        import repro.data.shm as shm
+
+        for name in shared.__all__:
+            assert getattr(shared, name) is getattr(shm, name), name
+
+
+# ----------------------------------------------------------------------
+# packed array segments (the compiled-model carrier)
+# ----------------------------------------------------------------------
+class TestSharedArrayPack:
+    def _arrays(self):
+        rng = np.random.default_rng(7)
+        return [
+            ("a.f64", rng.normal(size=129)),
+            ("b.i16", rng.integers(-5, 5, size=(7, 3)).astype(np.int16)),
+            ("c.f32", rng.normal(size=0).astype(np.float32)),  # empty ok
+            ("d.bool", rng.integers(0, 2, size=33).astype(bool)),
+        ]
+
+    def test_round_trip_readonly_views(self):
+        arrays = self._arrays()
+        pack = SharedArrayPack.create(arrays, f"{new_run_prefix()}-pack")
+        try:
+            attached = pack.attach()
+            try:
+                assert set(attached.arrays) == {n for n, _ in arrays}
+                for name, original in arrays:
+                    view = attached.arrays[name]
+                    assert view.dtype == original.dtype
+                    assert view.shape == original.shape
+                    np.testing.assert_array_equal(view, original)
+                    assert not view.flags.writeable
+            finally:
+                attached.close()
+        finally:
+            pack.unlink()
+        pack.unlink()  # idempotent
+
+    def test_single_segment_and_aligned_offsets(self):
+        pack = SharedArrayPack.create(self._arrays(), f"{new_run_prefix()}-p1")
+        try:
+            assert len(list_segments(pack.segment)) == 1
+            assert all(spec.offset % 8 == 0 for spec in pack.specs)
+            assert pack.nbytes == sum(s.nbytes for s in pack.specs)
+        finally:
+            pack.unlink()
+
+    def test_pickled_pack_is_metadata_only(self):
+        arrays = self._arrays()
+        payload = sum(a.nbytes for _, a in arrays)
+        pack = SharedArrayPack.create(arrays, f"{new_run_prefix()}-p2")
+        try:
+            blob = pickle.dumps(pack)
+            assert len(blob) < max(2048, payload // 4)
+            clone = pickle.loads(blob)
+            attached = clone.attach()
+            try:
+                np.testing.assert_array_equal(
+                    attached.arrays["a.f64"], arrays[0][1]
+                )
+            finally:
+                attached.close()
+        finally:
+            pack.unlink()
+
+    def test_duplicate_names_rejected(self):
+        rows = np.zeros(4)
+        with pytest.raises(ValueError, match="duplicate"):
+            SharedArrayPack.create(
+                [("x", rows), ("x", rows)], f"{new_run_prefix()}-p3"
+            )
+
+
+# ----------------------------------------------------------------------
+# compiled models in shm (the serving fleet's carrier)
+# ----------------------------------------------------------------------
+def _crash_child_after_attach(handle, conn) -> None:
+    """Child target: attach the model, prove it read it, die without cleanup.
+
+    Reports through a Pipe (synchronous fd write — a Queue's feeder
+    thread would lose the payload to the immediate hard exit below).
+    """
+    import os
+
+    attached = handle.attach()
+    conn.send(float(np.nansum(attached.forest.trees[0].threshold)))
+    os._exit(9)  # simulated crash: no close(), no atexit, nothing
+
+
+class TestSharedCompiledModel:
+    def _compiled(self):
+        from repro.core import TreeConfig, train_tree
+        from repro.ensemble import ForestModel
+        from repro.serving import compile_forest
+
+        table = _table()
+        forest = ForestModel(
+            [train_tree(table, TreeConfig(max_depth=5, seed=i)) for i in range(2)]
+        )
+        return compile_forest(forest), table
+
+    def test_attach_detach_round_trip(self):
+        from repro.serving import SharedCompiledModel, flat_fingerprint
+        from repro.serving.batch import BatchPredictor
+
+        flat, table = self._compiled()
+        key = flat_fingerprint(flat)
+        handle = SharedCompiledModel.create(flat, key)
+        try:
+            assert len(handle.segment_names()) == 1  # one segment per model
+            attached = handle.attach()
+            try:
+                assert attached.key == key
+                assert attached.nbytes == handle.nbytes == flat.nbytes()
+                mat = np.column_stack(
+                    [c.astype(np.float64) for c in table.columns]
+                )
+                np.testing.assert_array_equal(
+                    attached.predictor.predict_proba_matrix(mat),
+                    BatchPredictor(flat).predict_proba_matrix(mat),
+                )
+                tree = attached.forest.trees[0]
+                assert not tree.threshold.flags.writeable
+            finally:
+                attached.close()
+            attached.close()  # idempotent
+        finally:
+            handle.unlink()
+        handle.unlink()  # idempotent
+
+    def test_handle_pickles_metadata_only(self):
+        from repro.serving import SharedCompiledModel, flat_fingerprint
+
+        flat, _ = self._compiled()
+        handle = SharedCompiledModel.create(flat, flat_fingerprint(flat))
+        try:
+            blob = pickle.dumps(handle)
+            assert len(blob) < max(4096, handle.nbytes // 4)
+            clone = pickle.loads(blob)
+            attached = clone.attach()
+            try:
+                assert attached.forest.n_trees == flat.n_trees
+            finally:
+                attached.close()
+        finally:
+            handle.unlink()
+
+    def test_no_leak_after_attacher_crash(self):
+        """A worker that dies mid-attachment leaves nothing in /dev/shm.
+
+        The creator is the only owner: after the child hard-exits without
+        closing, the parent's unlink fully reclaims the segment (the
+        autouse fixture asserts the sweep-level invariant).
+        """
+        from repro.serving import SharedCompiledModel, flat_fingerprint
+
+        flat, _ = self._compiled()
+        handle = SharedCompiledModel.create(flat, flat_fingerprint(flat))
+        try:
+            ctx = multiprocessing.get_context("fork")
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_crash_child_after_attach, args=(handle, child_conn)
+            )
+            process.start()
+            child_conn.close()
+            assert parent_conn.poll(60.0)
+            checksum = parent_conn.recv()
+            process.join(timeout=60.0)
+            assert process.exitcode == 9
+            assert checksum == pytest.approx(
+                float(np.nansum(flat.trees[0].threshold))
+            )
+            # The segment is still alive (the crash must not take the
+            # published model down with it) ...
+            assert list_segments(handle.pack.segment) == [handle.pack.segment]
+        finally:
+            # ... and the owner reclaims it completely.
+            handle.unlink()
+        assert list_segments(handle.pack.segment) == []
