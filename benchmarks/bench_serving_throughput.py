@@ -13,20 +13,25 @@ It also replays the batch through the micro-batching
 :class:`~repro.serving.server.PredictionServer` in small client requests
 and reports p50/p99 request latency — first in-process, then through the
 multi-process serving fleet at 1, 2 and 4 workers (``fleet`` section:
-rows/sec and p99 per worker count).  Besides the rendered table under
-``benchmarks/results/``, it writes machine-readable numbers to
-``BENCH_serving.json`` at the repo root.
+rows/sec and p99 per worker count), then over real sockets through the
+asyncio HTTP/JSON gateway (``gateway`` section: HTTP rows/sec and p99 vs
+in-process, plus the hedging win-rate against an injected slow replica).
+Besides the rendered table under ``benchmarks/results/``, it writes
+machine-readable numbers to ``BENCH_serving.json`` at the repo root.
 
 The asserted contracts: the flat kernel is >= 10x per-row descent; fleet
-predictions are bit-identical to in-process; and — hardware-aware — the
-fleet must *scale* only when this host actually has the cores for it,
-while on a starved host (1 core) a 1-worker fleet must stay within a
-bounded IPC overhead of the in-process server.
+and HTTP predictions are bit-identical to in-process; hedged dispatch
+against a deliberately slowed replica must cut p99 and win hedges; and —
+hardware-aware — the fleet must *scale* only when this host actually has
+the cores for it, while on a starved host (1 core) a 1-worker fleet must
+stay within a bounded IPC overhead of the in-process server.
 """
 
 import json
 import os
+import threading
 import time
+import urllib.request
 from pathlib import Path
 
 import numpy as np
@@ -36,6 +41,9 @@ from repro.datasets import SyntheticSpec, generate
 from repro.ensemble import ForestModel
 from repro.serving import (
     BatchPredictor,
+    Gateway,
+    GatewayConfig,
+    GatewayThread,
     PredictionServer,
     ServerConfig,
     compile_forest,
@@ -59,7 +67,55 @@ FLEET_MIN_1WORKER_RATIO = 0.10
 #: With cores to spare, 4 workers must actually beat 1 worker.
 FLEET_MIN_SCALING = 1.2
 
+GATEWAY_ROWS = 20_000  # HTTP replay subset (JSON encode/decode dominates)
+GATEWAY_REQUEST_ROWS = 64
+GATEWAY_CLIENTS = 4
+#: The HTTP+JSON path pays serialization on every row; it must still
+#: deliver at least this fraction of the in-process server's throughput.
+GATEWAY_MIN_HTTP_RATIO = 0.01
+#: Injected straggler for the hedging sub-benchmark.
+HEDGE_SLOW_SECONDS = 0.25
+HEDGE_AFTER_MS = 25.0
+HEDGE_REQUESTS = 12
+#: Hedging must cut p99 to at most this fraction of the unhedged run.
+HEDGE_MAX_P99_RATIO = 0.8
+
 REPO_ROOT = Path(__file__).parents[1]
+
+
+class _SlowPredictor(BatchPredictor):
+    """A replica whose kernel straggles — the hedging target."""
+
+    def __init__(self, flat, delay_seconds):
+        super().__init__(flat)
+        self.delay_seconds = delay_seconds
+
+    def predict_matrix(self, matrix, max_depth=None):
+        time.sleep(self.delay_seconds)
+        return super().predict_matrix(matrix, max_depth)
+
+    def predict_proba_matrix(self, matrix, max_depth=None):
+        time.sleep(self.delay_seconds)
+        return super().predict_proba_matrix(matrix, max_depth)
+
+
+def _http_predict(port, rows):
+    """One JSON predict over the wire; returns (predictions, seconds)."""
+    body = json.dumps({"rows": rows}).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/predict", data=body, method="POST"
+    )
+    start = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=120) as response:
+        payload = json.loads(response.read())
+    return payload["predictions"], time.perf_counter() - start
+
+
+def _http_stats(port):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/stats", timeout=60
+    ) as response:
+        return json.loads(response.read())
 
 
 def _cores() -> int:
@@ -181,6 +237,81 @@ def test_serving_throughput(run_once):
                 ),
             }
 
+        # HTTP/JSON gateway replay: the same rows over real sockets,
+        # several concurrent clients, exact parity required.
+        flat = predictor.forest
+        http_matrix = matrix[:GATEWAY_ROWS]
+        chunks = [
+            http_matrix[start : start + GATEWAY_REQUEST_ROWS].tolist()
+            for start in range(0, len(http_matrix), GATEWAY_REQUEST_ROWS)
+        ]
+        gateway = Gateway(
+            [PredictionServer(BatchPredictor(flat), config)],
+            GatewayConfig(port=0),
+        )
+        runner = GatewayThread(gateway).start()
+        try:
+            _http_predict(runner.port, chunks[0])  # warm up (keep-alive off)
+            results = [None] * len(chunks)
+            latencies = [None] * len(chunks)
+
+            def client(slot):
+                for index in range(slot, len(chunks), GATEWAY_CLIENTS):
+                    results[index], latencies[index] = _http_predict(
+                        runner.port, chunks[index]
+                    )
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(GATEWAY_CLIENTS)
+            ]
+            http_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            http_seconds = time.perf_counter() - http_started
+        finally:
+            runner.stop()
+        http_preds = np.concatenate(
+            [np.asarray(block) for block in results]
+        )
+        np.testing.assert_array_equal(http_preds, flat_preds[:GATEWAY_ROWS])
+        http_rps = len(http_matrix) / http_seconds
+        http_latencies_ms = np.asarray(latencies) * 1e3
+
+        # Hedging sub-benchmark: two replicas, one deliberately slowed;
+        # the hedged gateway must beat the unhedged control on p99.
+        hedge_rows = matrix[:GATEWAY_REQUEST_ROWS].tolist()
+
+        def hedge_run(hedge_enabled):
+            gw = Gateway(
+                [
+                    PredictionServer(BatchPredictor(flat), config),
+                    PredictionServer(
+                        _SlowPredictor(flat, HEDGE_SLOW_SECONDS), config
+                    ),
+                ],
+                GatewayConfig(
+                    port=0, hedge=hedge_enabled, hedge_after_ms=HEDGE_AFTER_MS
+                ),
+            )
+            run = GatewayThread(gw).start()
+            try:
+                samples = [
+                    _http_predict(run.port, hedge_rows)[1]
+                    for _ in range(HEDGE_REQUESTS)
+                ]
+                counters = _http_stats(run.port)["gateway"]
+            finally:
+                run.stop()
+            return float(np.percentile(samples, 99) * 1e3), counters
+
+        unhedged_p99_ms, _ = hedge_run(False)
+        hedged_p99_ms, hedged_counters = hedge_run(True)
+        hedges_fired = hedged_counters["hedges_fired"]
+        hedge_wins = hedged_counters["hedge_wins"]
+
         return {
             "n_rows": table.n_rows,
             "n_trees": N_TREES,
@@ -193,6 +324,29 @@ def test_serving_throughput(run_once):
             "flat_vs_node_batch_speedup": node_rps and flat_rps / node_rps,
             "server": report.to_dict(),
             "fleet": fleet,
+            "gateway": {
+                "rows": len(http_matrix),
+                "request_rows": GATEWAY_REQUEST_ROWS,
+                "clients": GATEWAY_CLIENTS,
+                "http_rows_per_second": http_rps,
+                "http_p50_ms": float(np.percentile(http_latencies_ms, 50)),
+                "http_p99_ms": float(np.percentile(http_latencies_ms, 99)),
+                "in_process_ratio": http_rps
+                / report.to_dict()["rows_per_second"],
+                "hedge": {
+                    "slow_replica_seconds": HEDGE_SLOW_SECONDS,
+                    "hedge_after_ms": HEDGE_AFTER_MS,
+                    "requests": HEDGE_REQUESTS,
+                    "unhedged_p99_ms": unhedged_p99_ms,
+                    "hedged_p99_ms": hedged_p99_ms,
+                    "p99_speedup": unhedged_p99_ms / hedged_p99_ms,
+                    "hedges_fired": hedges_fired,
+                    "hedge_wins": hedge_wins,
+                    "win_rate": hedge_wins / hedges_fired
+                    if hedges_fired
+                    else 0.0,
+                },
+            },
         }
 
     result = run_once(experiment)
@@ -227,6 +381,22 @@ def test_serving_throughput(run_once):
             f"{entry['rows_per_second']:>14,.0f}"
             f"{entry['p99_latency_ms']:>10.2f}"
         )
+    gw = result["gateway"]
+    hedge = gw["hedge"]
+    lines += [
+        "",
+        f"gateway (HTTP/JSON, {gw['clients']} clients, "
+        f"{gw['request_rows']}-row requests): "
+        f"{gw['http_rows_per_second']:,.0f} rows/s "
+        f"({gw['in_process_ratio']:.2f}x in-process), "
+        f"p50 {gw['http_p50_ms']:.2f} ms, p99 {gw['http_p99_ms']:.2f} ms",
+        f"hedging (slow replica {hedge['slow_replica_seconds'] * 1e3:.0f} ms, "
+        f"hedge after {hedge['hedge_after_ms']:.0f} ms): "
+        f"p99 {hedge['unhedged_p99_ms']:.0f} -> {hedge['hedged_p99_ms']:.0f} "
+        f"ms ({hedge['p99_speedup']:.1f}x), "
+        f"wins {hedge['hedge_wins']}/{hedge['hedges_fired']} "
+        f"(win rate {hedge['win_rate']:.2f})",
+    ]
     save_result("serving_throughput", "\n".join(lines))
     (REPO_ROOT / "BENCH_serving.json").write_text(
         json.dumps(result, indent=2) + "\n"
@@ -238,6 +408,17 @@ def test_serving_throughput(run_once):
         assert entry["rejected"] == 0
         assert entry["respawns"] == 0
         assert entry["shm_bytes_mapped"] > 0
+
+    # Gateway contracts: the HTTP path serves exact predictions at a
+    # bounded serialization overhead, and hedging measurably cuts p99
+    # against the injected straggler.
+    assert (
+        result["gateway"]["in_process_ratio"] >= GATEWAY_MIN_HTTP_RATIO
+    )
+    hedge = result["gateway"]["hedge"]
+    assert hedge["hedges_fired"] > 0
+    assert hedge["hedge_wins"] > 0
+    assert hedge["hedged_p99_ms"] < hedge["unhedged_p99_ms"] * HEDGE_MAX_P99_RATIO
 
     # Hardware-aware contracts: scaling only where the cores exist.
     in_process_rps = result["server"]["rows_per_second"]

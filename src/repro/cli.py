@@ -11,7 +11,9 @@ TreeServer's demo workflow:
   node-based reference descent).
 * ``serve`` — replay a CSV through the micro-batching
   :class:`~repro.serving.server.PredictionServer` and report latency and
-  throughput counters.
+  throughput counters; with ``--http``, run the asyncio HTTP/JSON
+  gateway (admission control, hedged replicas, hot swap/rollback)
+  instead.
 * ``worker`` — dial into a ``train --backend socket --listen`` master and
   serve as one remote worker for the duration of the run.
 * ``evaluate`` — score a saved model against a labelled CSV.
@@ -143,11 +145,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="replay a CSV through the micro-batching prediction server",
+        help="replay a CSV through the micro-batching prediction server, "
+        "or run the HTTP/JSON gateway (--http)",
     )
-    serve.add_argument("--csv", required=True, help="rows to serve")
+    serve.add_argument(
+        "--csv", default=None,
+        help="rows to serve (CSV replay mode; not used with --http)",
+    )
     serve.add_argument("--model-dir", required=True)
-    serve.add_argument("--out", required=True, help="output CSV path")
+    serve.add_argument(
+        "--out", default=None,
+        help="output CSV path (CSV replay mode; not used with --http)",
+    )
     serve.add_argument(
         "--target", default=None,
         help="target column to ignore if present in the CSV",
@@ -179,6 +188,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quantize", action="store_true",
         help="serve the compact float32/int16 compiled form "
         "(see docs/SERVING.md for the accuracy contract)",
+    )
+    serve.add_argument(
+        "--http", action="store_true",
+        help="run the asyncio HTTP/JSON gateway instead of replaying a "
+        "CSV: POST /predict, /models/swap, /models/rollback, "
+        "GET /healthz, /stats (Ctrl-C to stop)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="gateway bind address (default: loopback)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="gateway port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1, metavar="R",
+        help="prediction-server replicas behind the gateway; >= 2 "
+        "enables hedged dispatch of straggling requests",
+    )
+    serve.add_argument(
+        "--client-rate", type=float, default=None, metavar="RPS",
+        help="per-client token-bucket quota, requests/second keyed by "
+        "the X-Client header (default: unlimited)",
+    )
+    serve.add_argument(
+        "--client-burst", type=int, default=32,
+        help="token-bucket burst headroom per client",
+    )
+    serve.add_argument(
+        "--max-waiters", type=int, default=64,
+        help="bounded waiting-room seats before 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--hedge-ms", type=float, default=None, metavar="MS",
+        help="fixed hedge delay in milliseconds (default: derived from "
+        "the observed p99 gateway latency)",
     )
 
     worker = sub.add_parser(
@@ -404,7 +450,88 @@ def _cmd_predict(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_serve_http(args: argparse.Namespace, out) -> int:
+    """Run the asyncio HTTP/JSON gateway until interrupted."""
+    import signal as signal_module
+    import time as time_module
+
+    from .serving.admission import QuotaConfig
+    from .serving.gateway import Gateway, GatewayConfig, GatewayThread
+
+    if args.replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
+        return 2
+    entry, _ = load_compiled_local(args.model_dir)
+    config = ServerConfig(
+        max_batch_size=args.batch_size,
+        max_delay_seconds=args.max_delay_ms / 1e3,
+        queue_capacity=args.queue_capacity,
+        max_depth=args.max_depth,
+    )
+    replicas = [
+        PredictionServer(
+            entry.predictor,
+            config,
+            n_workers=args.workers,
+            quantize=args.quantize,
+        )
+        for _ in range(args.replicas)
+    ]
+    gateway = Gateway(
+        replicas,
+        GatewayConfig(
+            host=args.host,
+            port=args.port,
+            quota=QuotaConfig(
+                rate=args.client_rate,
+                burst=args.client_burst,
+                max_waiters=args.max_waiters,
+            ),
+            hedge_after_ms=args.hedge_ms,
+        ),
+    )
+    runner = GatewayThread(gateway).start()
+    print(
+        f"gateway listening on http://{args.host}:{runner.port} "
+        f"(replicas={args.replicas} workers={args.workers or 'in-process'} "
+        f"model={gateway.model_key[:12]})",
+        file=out, flush=True,
+    )
+    # A supervisor's SIGTERM should drain exactly like Ctrl-C: convert it
+    # so replicas/fleet workers are reaped, not orphaned.
+    def _sigterm(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        signal_module.signal(signal_module.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
+    try:
+        with graceful_sigint():
+            while True:
+                time_module.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runner.stop()
+    counters = gateway.gateway_counters()
+    print(
+        f"gateway: requests={counters['http_requests']} "
+        f"admitted={counters['admitted']} throttled={counters['throttled']} "
+        f"hedges_fired={counters['hedges_fired']} "
+        f"hedge_wins={counters['hedge_wins']} "
+        f"swaps={counters['swaps']} rollbacks={counters['rollbacks']}",
+        file=out,
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
+    if args.http:
+        return _cmd_serve_http(args, out)
+    if args.csv is None or args.out is None:
+        print("serve needs --csv and --out (or --http)", file=sys.stderr)
+        return 2
     entry, _ = load_compiled_local(args.model_dir)
     table = _read_feature_csv(args.csv, args.target, entry.predictor.problem)
     config = ServerConfig(

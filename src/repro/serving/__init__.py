@@ -22,8 +22,20 @@ of work identify as the key to hardware-speed traversal) and serves them:
   (:class:`SharedCompiledModel`): publish once, map everywhere;
 * :mod:`fleet` — :class:`ServingFleet`, N OS worker processes serving
   contiguous shards of every micro-batch from the shared image, with hot
-  model swap and respawn-on-death (``PredictionServer(n_workers=N)``).
+  model swap and respawn-on-death (``PredictionServer(n_workers=N)``);
+* :mod:`admission` — per-client token-bucket quotas with a bounded async
+  waiting room (backpressure before rejection);
+* :mod:`gateway` — the asyncio HTTP/JSON :class:`Gateway` over one or
+  more server replicas: admission control, hedged dispatch of straggling
+  requests, hot swap/rollback endpoints (``repro serve --http``).
 """
+
+from .admission import (
+    AdmissionController,
+    QuotaConfig,
+    ThrottledError,
+    TokenBucket,
+)
 
 from .batch import BatchPredictor, traverse_tree
 from .compiler import (
@@ -42,6 +54,13 @@ from .fleet import (
     FleetWorkerError,
     ServingFleet,
 )
+from .gateway import (
+    Gateway,
+    GatewayConfig,
+    GatewayStats,
+    GatewayThread,
+    combine_reports,
+)
 from .registry import (
     ModelRegistry,
     RegistryEntry,
@@ -59,6 +78,7 @@ from .server import (
 from .shm_model import AttachedModel, SharedCompiledModel, flat_fingerprint
 
 __all__ = [
+    "AdmissionController",
     "AttachedModel",
     "BatchPredictor",
     "CompiledCascade",
@@ -67,8 +87,15 @@ __all__ = [
     "FleetClosedError",
     "FleetError",
     "FleetWorkerError",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "GatewayThread",
     "ModelRegistry",
     "PredictionServer",
+    "QuotaConfig",
+    "ThrottledError",
+    "TokenBucket",
     "QUANTIZE_ATOL",
     "QUANTIZE_MIN_AGREEMENT",
     "RegistryEntry",
@@ -77,6 +104,7 @@ __all__ = [
     "ServingReport",
     "ServingStats",
     "SharedCompiledModel",
+    "combine_reports",
     "compile_cascade",
     "compile_forest",
     "compile_tree",

@@ -49,7 +49,20 @@ from .registry import ModelRegistry, default_registry
 
 
 class QueueFullError(RuntimeError):
-    """Raised by ``submit`` when the bounded request queue is full."""
+    """Raised by ``submit`` when the bounded request queue is full.
+
+    Carries the structural facts a client needs to compute a backoff
+    hint — ``queue_depth`` (requests admitted but unserved at rejection
+    time) and ``capacity`` (the configured bound) — so callers like the
+    HTTP gateway derive ``Retry-After`` from state, not message parsing.
+    """
+
+    def __init__(self, queue_depth: int, capacity: int) -> None:
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+        super().__init__(
+            f"queue full ({queue_depth}/{capacity} requests)"
+        )
 
 
 @dataclass(frozen=True)
@@ -123,6 +136,9 @@ class ServingReport:
     rejected_shutdown: int = 0
     #: Fleet-mode counters (``ServingFleet.stats()``); ``None`` in-process.
     fleet: dict | None = None
+    #: Gateway counters (``Gateway.stats.to_dict()``) when this report is
+    #: served through the HTTP gateway's ``/stats``; ``None`` otherwise.
+    gateway: dict | None = None
 
     def summary(self) -> str:
         """One-line human-readable digest."""
@@ -163,6 +179,8 @@ class ServingReport:
         }
         if self.fleet is not None:
             out["fleet"] = self.fleet
+        if self.gateway is not None:
+            out["gateway"] = self.gateway
         return out
 
 
@@ -342,7 +360,7 @@ class PredictionServer:
         except Full:
             self.stats.rejected_queue_full += 1
             raise QueueFullError(
-                f"queue full ({self.config.queue_capacity} requests)"
+                self._queue.qsize(), self.config.queue_capacity
             ) from None
         if self.stats.first_enqueue is None:
             self.stats.first_enqueue = request.enqueued

@@ -9,6 +9,7 @@ engine everywhere (harness, distributed predictor, CLI).
 
 import io
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -961,6 +962,62 @@ class TestFleet:
                         n_trees=1,
                     )
                 )
+        assert set(list_segments()) == before
+
+    def test_swap_races_concurrent_submits(self):
+        """Hot swap under fire: client threads hammer ``predict_proba``
+        while the model flips between two forests.  Every result must be
+        exactly one of the two reference outputs — an in-flight batch
+        finishes on the model it started with, a later batch uses the
+        new one, never a blend — and no shm segment may leak."""
+        table = make_table(5, missing=0.1)
+        forest_a = make_forest(table, n_trees=2, max_depth=2, seed=5)
+        forest_b = make_forest(table, n_trees=3, max_depth=6, seed=55)
+        mat = _matrix_of(table)
+        with PredictionServer(forest_a) as solo:
+            ref_a = solo.predict_proba(mat)
+        with PredictionServer(forest_b) as solo:
+            ref_b = solo.predict_proba(mat)
+        assert not np.array_equal(ref_a, ref_b)
+        before = set(list_segments())
+        stop = threading.Event()
+        errors: list[str] = []
+        completed = [0] * 3
+
+        with PredictionServer(forest_a, n_workers=2) as server:
+
+            def client(slot):
+                try:
+                    while not stop.is_set():
+                        out = server.predict_proba(mat, timeout=60.0)
+                        if not (
+                            np.array_equal(out, ref_a)
+                            or np.array_equal(out, ref_b)
+                        ):
+                            errors.append("result matches neither model")
+                            return
+                        completed[slot] += 1
+                except Exception as error:  # noqa: BLE001 - report in main
+                    errors.append(repr(error))
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                for flip in range(6):
+                    server.swap_model(
+                        forest_b if flip % 2 == 0 else forest_a
+                    )
+                    time.sleep(0.02)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=120.0)
+            assert not errors
+            assert all(count > 0 for count in completed)
         assert set(list_segments()) == before
 
     def test_killed_worker_respawns_without_losing_results(self, monkeypatch):
