@@ -38,7 +38,7 @@ import sys
 
 import numpy as np
 
-from .core.config import SystemConfig, TreeConfig, TreeKind
+from .core.config import TREE_KERNELS, SystemConfig, TreeConfig, TreeKind
 from .core.jobs import decision_tree_job, extra_trees_job, random_forest_job
 from .core.persistence import load_model_local, save_model_local
 from .core.server import TreeServer
@@ -123,6 +123,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-worker-failures", type=int, default=1, metavar="N",
         help="fault-policy recover: give up after N worker crashes "
         "(default: 1)",
+    )
+    train.add_argument(
+        "--kernel", choices=TREE_KERNELS, default="vectorized",
+        help="subtree training kernel: vectorized (level-synchronous "
+        "breadth-first batching, default) or scalar (one node at a "
+        "time); both build bit-identical trees",
     )
 
     predict = sub.add_parser("predict", help="apply a saved model to a CSV")
@@ -273,6 +279,7 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
         tau_leaf=args.tau_leaf,
         tree_kind=TreeKind.EXTRA if args.extra_trees else TreeKind.DECISION,
         seed=args.seed,
+        kernel=args.kernel,
     )
     if args.forest > 0:
         if args.extra_trees:
@@ -355,6 +362,14 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
             f"coalesced-batches={transport['coalesced_batches']}",
             file=out,
         )
+        if transport.get("subtree_nodes_built"):
+            print(
+                f"training kernel: {transport['kernel']} "
+                f"build={transport['subtree_kernel_s']:.3f}s "
+                f"gather={transport['subtree_gather_s']:.3f}s "
+                f"nodes={transport['subtree_nodes_built']}",
+                file=out,
+            )
         if transport.get("recovered_workers"):
             print(
                 f"fault recovery: policy={transport['fault_policy']} "

@@ -26,6 +26,7 @@ import numpy as np
 from ..data.schema import ProblemKind
 from ..data.table import DataTable
 from .config import TreeConfig, TreeKind
+from .impurity import classification_impurity, variance
 from .splits import (
     CandidateSplit,
     best_split_for_column,
@@ -102,11 +103,17 @@ def bootstrap_row_ids(seed: int, n_rows: int) -> np.ndarray:
 
 @dataclass(frozen=True)
 class NodeStats:
-    """Sufficient statistics of ``Y`` over a node's rows ``D_x``."""
+    """Sufficient statistics of ``Y`` over a node's rows ``D_x``.
+
+    ``counts`` is the integer class-count vector (classification only;
+    ``None`` for regression).  It is kept so the parent-impurity
+    computation can reuse it instead of re-counting the same rows.
+    """
 
     n_rows: int
     prediction: np.ndarray | float
     is_pure: bool
+    counts: np.ndarray | None = None
 
 
 def node_statistics(
@@ -118,7 +125,7 @@ def node_statistics(
         counts = np.bincount(y.astype(np.int64), minlength=n_classes)
         pmf = counts / max(n, 1)
         pure = bool(n > 0 and counts.max() == n)
-        return NodeStats(n, pmf.astype(np.float64), pure)
+        return NodeStats(n, pmf.astype(np.float64), pure, counts=counts)
     mean = float(y.mean()) if n else 0.0
     pure = bool(n > 0 and np.all(y == y[0]))
     return NodeStats(n, mean, pure)
@@ -213,16 +220,18 @@ def split_is_useful(
 
 
 def parent_impurity_of(
-    y: np.ndarray, criterion, n_classes: int
+    y: np.ndarray, criterion, n_classes: int, counts: np.ndarray | None = None
 ) -> float:
-    """Impurity of a node's own label distribution."""
-    from .impurity import classification_impurity, variance
+    """Impurity of a node's own label distribution.
 
+    ``counts`` optionally supplies the class-count vector that
+    :func:`node_statistics` already computed for the same rows, skipping
+    a second O(rows + classes) counting pass per node.
+    """
     if criterion.is_classification:
-        counts = np.bincount(y.astype(np.int64), minlength=n_classes).astype(
-            np.float64
-        )
-        return classification_impurity(counts, criterion)
+        if counts is None:
+            counts = np.bincount(y.astype(np.int64), minlength=n_classes)
+        return classification_impurity(counts.astype(np.float64), criterion)
     return variance(float(y.size), float(y.sum()), float((y * y).sum()))
 
 
@@ -269,7 +278,9 @@ def build_subtree(
         if should_stop(stats, node.depth, config):
             continue
         split = find_best_split(table, ids, candidate_columns, config, path)
-        parent_imp = parent_impurity_of(y, criterion, table.n_classes)
+        parent_imp = parent_impurity_of(
+            y, criterion, table.n_classes, counts=stats.counts
+        )
         if not split_is_useful(split, parent_imp, config):
             continue
         assert split is not None
@@ -290,10 +301,18 @@ def train_tree(
 
     ``row_ids`` restricts training to a row subset (bootstrap bagging or a
     pre-split training fold); by default all rows are used, as in the paper.
+
+    Dispatches on ``config.kernel`` (``"vectorized"`` by default), so the
+    serial path, the deep-forest local backend and the fairness benchmarks
+    all run the level-synchronous kernel; the result is bit-identical
+    either way.
     """
+    # Imported here, not at module level: kernel.py builds on this module.
+    from .kernel import build_subtree_auto
+
     if row_ids is None:
         row_ids = np.arange(table.n_rows, dtype=np.int64)
-    root = build_subtree(table, config, row_ids)
+    root = build_subtree_auto(table, config, row_ids)
     return DecisionTree(
         root=root,
         problem=table.problem,

@@ -33,6 +33,14 @@ class TreeKind(enum.Enum):
     EXTRA = "extra"
 
 
+#: Training-kernel implementations accepted by ``TreeConfig.kernel`` (and
+#: the ``REPRO_KERNEL`` env override / ``repro train --kernel`` flag).
+#: ``"scalar"`` is the one-node-at-a-time reference builder;
+#: ``"vectorized"`` is the level-synchronous breadth-first / depth-next
+#: kernel in :mod:`repro.core.kernel`.  Both produce bit-identical trees.
+TREE_KERNELS = ("scalar", "vectorized")
+
+
 class ColumnSampling(enum.Enum):
     """How the candidate attribute set ``C`` is drawn for each tree."""
 
@@ -68,6 +76,13 @@ class TreeConfig:
         Seed for all per-tree randomness (column sampling, extra-tree
         thresholds).  Per-node randomness is derived from ``(seed, node
         path)`` so serial and distributed training draw identical values.
+    kernel:
+        Which subtree-training kernel executes this tree's CPU-bound node
+        construction: ``"vectorized"`` (default — the level-synchronous
+        breadth-first / depth-next kernel) or ``"scalar"`` (the one-node-
+        at-a-time reference builder).  The two are bit-identical; the
+        choice only affects wall-clock.  Travels inside every task plan,
+        so all runtime backends honour it.
     """
 
     max_depth: int | None = 10
@@ -78,6 +93,14 @@ class TreeConfig:
     tree_kind: TreeKind = TreeKind.DECISION
     min_impurity_decrease: float = 1e-12
     seed: int = 0
+    kernel: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in TREE_KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of "
+                f"{TREE_KERNELS}"
+            )
 
     def resolved_criterion(self, is_classification: bool) -> Impurity:
         """The criterion to use, applying the paper's defaults."""

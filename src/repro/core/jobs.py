@@ -11,7 +11,7 @@ concurrently subject to the ``n_pool`` cap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .config import ColumnSampling, TreeConfig, TreeKind
 
@@ -56,6 +56,30 @@ class TrainingJob:
         """Total tree count across all stages."""
         return sum(len(stage.trees) for stage in self.stages)
 
+    def with_kernel(self, kernel: str) -> "TrainingJob":
+        """Copy of this job with every tree's training kernel overridden.
+
+        The seam :class:`~repro.core.server.TreeServer` uses to apply a
+        ``RuntimeOptions.kernel`` override — kernel choice is a runtime
+        concern, but it travels in :class:`~repro.core.config.TreeConfig`
+        so task plans carry it to workers on every backend.
+        """
+        stages = [
+            JobStage(
+                [
+                    TreeRequest(replace(tree.config, kernel=kernel))
+                    for tree in stage.trees
+                ]
+            )
+            for stage in self.stages
+        ]
+        return TrainingJob(
+            name=self.name,
+            stages=stages,
+            bootstrap_rows=self.bootstrap_rows,
+            metadata=dict(self.metadata),
+        )
+
 
 def decision_tree_job(
     name: str, config: TreeConfig | None = None
@@ -82,16 +106,7 @@ def random_forest_job(
         raise ValueError("a forest needs at least one tree")
     base = config or TreeConfig(column_sampling=ColumnSampling.SQRT)
     if base.column_sampling is ColumnSampling.ALL:
-        base = TreeConfig(
-            max_depth=base.max_depth,
-            tau_leaf=base.tau_leaf,
-            criterion=base.criterion,
-            column_sampling=ColumnSampling.SQRT,
-            column_ratio=base.column_ratio,
-            tree_kind=base.tree_kind,
-            min_impurity_decrease=base.min_impurity_decrease,
-            seed=base.seed,
-        )
+        base = replace(base, column_sampling=ColumnSampling.SQRT)
     trees = [
         TreeRequest(base.with_seed(seed * 1_000_003 + i)) for i in range(n_trees)
     ]
@@ -108,15 +123,8 @@ def extra_trees_job(
 ) -> TrainingJob:
     """A completely-random-trees forest (paper Appendix F)."""
     base = config or TreeConfig()
-    base = TreeConfig(
-        max_depth=base.max_depth,
-        tau_leaf=base.tau_leaf,
-        criterion=base.criterion,
-        column_sampling=ColumnSampling.ALL,
-        column_ratio=base.column_ratio,
-        tree_kind=TreeKind.EXTRA,
-        min_impurity_decrease=base.min_impurity_decrease,
-        seed=base.seed,
+    base = replace(
+        base, column_sampling=ColumnSampling.ALL, tree_kind=TreeKind.EXTRA
     )
     trees = [
         TreeRequest(base.with_seed(seed * 1_000_003 + i)) for i in range(n_trees)

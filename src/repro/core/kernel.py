@@ -1,0 +1,738 @@
+"""Level-synchronous (breadth-first / depth-next) subtree training kernel.
+
+The scalar builder in :mod:`repro.core.builder` grows one node per Python
+iteration, fancy-indexing ``y`` and every candidate column per *node*.
+For a subtree-task that is the CPU-bound tail of every backend: thousands
+of small NumPy calls whose fixed per-call overhead dominates the actual
+arithmetic.  This module processes the whole frontier of a subtree at
+once instead (the breadth-first / depth-next hybrid of the RF-training
+literature, see PAPERS.md):
+
+* one gather of ``y`` and of each candidate column per *level*, with rows
+  bucketed to frontier nodes through a node-contiguous partition array
+  (segment ids derived from the heap-path frontier order);
+* per-node label statistics for classification in a single ``bincount``
+  over ``segment * n_classes + y``;
+* the numeric best-split scan for classification batched across all
+  frontier nodes: one stable ``lexsort`` by ``(segment, value)``, global
+  integer cumulative class counts minus segment offsets, and one
+  vectorized impurity pass over every candidate boundary of every node;
+* when a frontier node's row count drops to the small-node cutoff, that
+  node switches depth-next — the scalar :func:`~repro.core.builder.
+  build_subtree` finishes its subtree, where batching overhead would
+  exceed the work.
+
+**Exactness.**  The kernel is bit-identical to the scalar builder — the
+repo's ground-truth invariant — by construction:
+
+* node ids are the same heap paths and all per-node RNG draws key off
+  ``(seed, path)`` / ``(seed, path, column)``, so extra-trees reproduce
+  the scalar draws regardless of traversal order;
+* integer statistics (class counts) are exact under "global cumsum minus
+  segment offset", so the batched classification scan reproduces the
+  per-node cumulative counts digit for digit, and all downstream impurity
+  math runs through the very same row-vectorized functions
+  (:func:`~repro.core.impurity.classification_impurity_rows`,
+  :func:`~repro.core.impurity.weighted_children_impurity`) the scalar
+  scan uses, elementwise;
+* ``np.lexsort((values, segment))`` is stable, so within a segment it is
+  the same permutation as the scalar per-node stable argsort;
+* floating-point accumulations whose result depends on summation order —
+  regression cumulative sums, node means, categorical subset scans — are
+  *not* re-associated: those cases call the existing per-column split
+  functions in :mod:`repro.core.splits` on the node-contiguous slices of
+  the level gather, which see exactly the arrays the scalar path sees;
+* cross-column tie-breaking keeps the scalar rule (strictly smaller
+  ``(score, column)`` wins, i.e. ties go to the lower column index), and
+  within a column the first boundary achieving the minimum score wins,
+  matching ``np.argmin``.
+
+The parity sweep in ``tests/test_builder.py`` pins all of this.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import ColumnKind, ProblemKind
+from ..data.table import DataTable
+from .builder import (
+    NodeStats,
+    build_subtree,
+    extra_tree_column_order,
+    extra_tree_split_rng,
+    parent_impurity_of,
+    path_depth,
+    sample_candidate_columns,
+    should_stop,
+    split_is_useful,
+)
+from .config import TREE_KERNELS, TreeConfig, TreeKind
+from .impurity import (
+    Impurity,
+    classification_impurity_rows,
+    variance_rows,
+    weighted_children_impurity,
+)
+from .splits import (
+    CandidateSplit,
+    best_split_for_column,
+    random_split_for_column,
+    route_training_rows,
+)
+from .tree import TreeNode
+
+#: Environment override for the kernel choice — mirrors the runtime's
+#: other env hooks (``REPRO_MP_KILL`` etc.) so CI legs can force a kernel
+#: without touching configs.  Checked at dispatch time.
+ENV_KERNEL = "REPRO_KERNEL"
+
+#: Frontier nodes with at most this many rows are finished depth-next by
+#: the scalar builder.  Any value is exact — the cutoff only moves work
+#: between two bit-identical code paths (the parity sweep pins several
+#: values) — so this is purely a performance knob.  On this NumPy stack
+#: the measured crossover is below a single row: fixed per-call overhead
+#: dominates scalar node construction at every node size, so the default
+#: is 0 (pure breadth-first) and the depth-next switch is an escape
+#: hatch for stacks where small-slice batching is comparatively slower.
+DEPTH_NEXT_CUTOFF = 0
+
+
+@dataclass
+class KernelCounters:
+    """Per-worker training-kernel observability counters.
+
+    ``build_s`` is total wall-clock inside subtree builds, ``gather_s``
+    the slice of it spent fancy-indexing ``y``/column values out of the
+    table (vectorized kernel only; the scalar builder's gathers are
+    interleaved per node and not separable), ``nodes_built`` the tree
+    nodes constructed, and ``kernel`` which implementation ran last.
+    """
+
+    kernel: str = ""
+    build_s: float = 0.0
+    gather_s: float = 0.0
+    nodes_built: int = 0
+
+
+def resolve_kernel(config: TreeConfig) -> str:
+    """Effective kernel for a tree config (env override wins)."""
+    env = os.environ.get(ENV_KERNEL, "").strip()
+    if env:
+        if env not in TREE_KERNELS:
+            raise ValueError(
+                f"{ENV_KERNEL}={env!r}: expected one of {TREE_KERNELS}"
+            )
+        return env
+    return config.kernel
+
+
+def build_subtree_auto(
+    table: DataTable,
+    config: TreeConfig,
+    row_ids: np.ndarray,
+    candidate_columns: tuple[int, ...] | None = None,
+    root_path: int = 1,
+    counters: KernelCounters | None = None,
+) -> TreeNode:
+    """Build a subtree with the kernel ``config.kernel`` selects.
+
+    The single dispatch point for every subtree construction: the worker
+    actors of all runtime backends, the serial :func:`~repro.core.
+    builder.train_tree` path, and through it the deep-forest local
+    backend.  ``counters``, when given, accumulates build/gather seconds.
+    """
+    kernel = resolve_kernel(config)
+    start = time.perf_counter()
+    if kernel == "vectorized":
+        root = build_subtree_vectorized(
+            table,
+            config,
+            row_ids,
+            candidate_columns=candidate_columns,
+            root_path=root_path,
+            counters=counters,
+        )
+    else:
+        root = build_subtree(
+            table,
+            config,
+            row_ids,
+            candidate_columns=candidate_columns,
+            root_path=root_path,
+        )
+    if counters is not None:
+        counters.kernel = kernel
+        counters.build_s += time.perf_counter() - start
+    return root
+
+
+class _BatchedNumericEntry:
+    """Batched best-split results of one numeric column over a level.
+
+    Holds, for every active frontier segment, the winning boundary of
+    the batched scan (or -1) plus the per-boundary arrays needed to
+    materialize a :class:`CandidateSplit` for the segments that win the
+    cross-column comparison — so only one split object is built per node
+    instead of one per (node, column).
+    """
+
+    __slots__ = (
+        "column",
+        "seg_scores",
+        "best_pos",
+        "n_left",
+        "n_right",
+        "n_missing",
+        "sv",
+        "bidx",
+        "scores",
+    )
+
+    def __init__(self, column: int, n_segments: int) -> None:
+        self.column = column
+        self.seg_scores = np.full(n_segments, np.inf)
+        self.best_pos = np.full(n_segments, -1, dtype=np.int64)
+        self.n_left: np.ndarray | None = None
+        self.n_right: np.ndarray | None = None
+        self.n_missing: np.ndarray | None = None
+        self.sv: np.ndarray | None = None
+        self.bidx: np.ndarray | None = None
+        self.scores: np.ndarray | None = None
+
+    def key_for(self, segment: int) -> tuple[float, int] | None:
+        if self.best_pos[segment] < 0:
+            return None
+        return (float(self.seg_scores[segment]), self.column)
+
+    def split_for(self, segment: int) -> CandidateSplit | None:
+        b = int(self.best_pos[segment])
+        if b < 0:
+            return None
+        nl = int(self.n_left[b])
+        nr = int(self.n_right[b])
+        nm = int(self.n_missing[segment])
+        # Identical construction to best_numeric_split: missing rows join
+        # the larger child, threshold is the left boundary value.
+        return CandidateSplit(
+            column=self.column,
+            kind=ColumnKind.NUMERIC,
+            score=float(self.scores[b]),
+            n_left=nl + (nm if nl >= nr else 0),
+            n_right=nr + (0 if nl >= nr else nm),
+            threshold=float(self.sv[self.bidx[b]]),
+            n_missing=nm,
+            missing_to_left=nl >= nr,
+        )
+
+
+class _ObjectEntry:
+    """Per-segment split objects of one column (non-batched cases)."""
+
+    __slots__ = ("column", "splits")
+
+    def __init__(self, column: int, splits: list[CandidateSplit | None]):
+        self.column = column
+        self.splits = splits
+
+    def key_for(self, segment: int) -> tuple[float, int] | None:
+        split = self.splits[segment]
+        return None if split is None else split.sort_key()
+
+    def split_for(self, segment: int) -> CandidateSplit | None:
+        return self.splits[segment]
+
+
+def _first_per_group(groups: np.ndarray) -> np.ndarray:
+    """Indices of the first element of each run in a sorted group array."""
+    if groups.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.nonzero(np.concatenate(([True], groups[1:] != groups[:-1])))[0]
+
+
+def _batched_numeric_classification(
+    column: int,
+    values: np.ndarray,
+    y_codes: np.ndarray,
+    seg: np.ndarray,
+    n_segments: int,
+    sizes: np.ndarray,
+    seg_counts: np.ndarray | None,
+    criterion: Impurity,
+    n_classes: int,
+) -> _BatchedNumericEntry:
+    """Case 1 (ordinal attribute, classification) over a whole frontier.
+
+    The batched twin of :func:`~repro.core.splits.best_numeric_split`:
+    every intermediate quantity below reproduces the scalar scan's value
+    for each segment exactly (see the module docstring for the argument),
+    with one sort and one impurity pass for the entire level.
+
+    ``sizes`` is the per-segment row count and ``seg_counts`` the
+    per-segment integer class counts the level statistics pass already
+    produced (``None`` when the caller has no class counts, e.g. a
+    classification criterion forced onto a regression target) — reusing
+    them skips a full-level bincount per column.
+    """
+    entry = _BatchedNumericEntry(column, n_segments)
+    present = ~np.isnan(values)
+    miss_counts: np.ndarray | None = None
+    if present.all():
+        # Fast path for NaN-free columns: no row compaction needed.
+        entry.n_missing = np.zeros(n_segments, dtype=np.int64)
+        vp = values
+        sp = seg
+        yc = y_codes
+        n_present = sizes
+    else:
+        absent = ~present
+        seg_absent = seg[absent]
+        entry.n_missing = np.bincount(seg_absent, minlength=n_segments)
+        vp = values[present]
+        sp = seg[present]
+        yc = y_codes[present]
+        n_present = sizes - entry.n_missing
+        miss_counts = np.bincount(
+            seg_absent * n_classes + y_codes[absent],
+            minlength=n_segments * n_classes,
+        ).reshape(n_segments, n_classes)
+    if vp.size == 0:
+        return entry
+    pres_starts = np.zeros(n_segments + 1, dtype=np.int64)
+    np.cumsum(n_present, out=pres_starts[1:])
+
+    # Stable sort by (segment, value).  ``vp`` is already grouped by
+    # segment (the level gather is node-contiguous), so sorting each
+    # segment's slice with the scalar's own stable argsort gives the
+    # identical permutation; ``lexsort`` computes the same order in one
+    # call, which wins when a level has many tiny segments (per-slice
+    # call overhead) and loses when it has a few huge ones (it re-sorts
+    # the already-grouped segment key).
+    if n_segments * 2048 <= vp.size:
+        order = np.empty(vp.size, dtype=np.int64)
+        for s in range(n_segments):
+            lo, hi = int(pres_starts[s]), int(pres_starts[s + 1])
+            order[lo:hi] = lo + np.argsort(vp[lo:hi], kind="stable")
+    else:
+        order = np.lexsort((vp, sp))
+    sv = vp[order]
+    ss = sp  # per-segment sorting never moves rows across segments
+    syc = yc[order]
+
+    # A boundary needs two present rows of the same segment, so segments
+    # the scalar scan rejects (n < 2, or no distinct values) simply
+    # contribute no boundaries here.
+    bmask = (sv[:-1] < sv[1:]) & (ss[:-1] == ss[1:])
+    bidx = np.nonzero(bmask)[0]
+    if bidx.size == 0:
+        return entry
+    bseg = ss[bidx]
+    seg_start = pres_starts[:-1]
+    bstart = seg_start[bseg]
+    n_left = bidx + 1 - bstart
+    n_right = n_present[bseg] - n_left
+
+    # Per-class cumulative counts: integer global cumsum minus the count
+    # at the segment start — exact, hence identical to per-node cumsums.
+    # The last class is the exact integer complement of the others (the
+    # scalar scan's own cumsums are integers too, so equality is literal),
+    # which saves one full cumsum pass — half the passes for binary jobs.
+    left_counts = np.empty((bidx.size, n_classes), dtype=np.float64)
+    cumz = np.empty(vp.size + 1, dtype=np.int64)
+    cumz[0] = 0
+    if n_classes == 2:
+        np.cumsum(syc, out=cumz[1:])
+        ones = cumz[bidx + 1] - cumz[bstart]
+        left_counts[:, 1] = ones
+        left_counts[:, 0] = n_left - ones
+    else:
+        acc = np.zeros(bidx.size, dtype=np.int64)
+        for cls in range(n_classes - 1):
+            np.cumsum(syc == cls, out=cumz[1:])
+            c = cumz[bidx + 1] - cumz[bstart]
+            left_counts[:, cls] = c
+            acc += c
+        left_counts[:, n_classes - 1] = n_left - acc
+    if seg_counts is None:
+        total_counts = np.bincount(
+            sp * n_classes + yc,
+            minlength=n_segments * n_classes,
+        ).reshape(n_segments, n_classes)
+    elif miss_counts is None:
+        total_counts = seg_counts
+    else:
+        total_counts = seg_counts - miss_counts
+    right_counts = total_counts[bseg] - left_counts
+
+    left_imp = classification_impurity_rows(left_counts, criterion)
+    right_imp = classification_impurity_rows(right_counts, criterion)
+    scores = weighted_children_impurity(left_imp, n_left, right_imp, n_right)
+
+    # First minimum per segment == the scalar np.argmin (first-min) rule.
+    first_b = _first_per_group(bseg)
+    counts_b = np.diff(np.append(first_b, bseg.size))
+    seg_min = np.minimum.reduceat(scores, first_b)
+    hit = np.nonzero(scores == np.repeat(seg_min, counts_b))[0]
+    hseg = bseg[hit]
+    hfirst = _first_per_group(hseg)
+    winners = hit[hfirst]
+    entry.best_pos[hseg[hfirst]] = winners
+    entry.seg_scores[hseg[hfirst]] = scores[winners]
+    entry.n_left = n_left
+    entry.n_right = n_right
+    entry.sv = sv
+    entry.bidx = bidx
+    entry.scores = scores
+    return entry
+
+
+def _batched_numeric_regression(
+    column: int,
+    values: np.ndarray,
+    y: np.ndarray,
+    seg: np.ndarray,
+    n_segments: int,
+    sizes: np.ndarray,
+) -> _BatchedNumericEntry:
+    """Case 1 (ordinal attribute, regression) over a whole frontier.
+
+    Floating-point cumulative sums are order-sensitive, so they are *not*
+    globally accumulated: each segment's slice of the sorted level array
+    gets its own ``np.cumsum``, which performs the exact same additions in
+    the exact same order as the scalar per-node scan — the per-call
+    overhead that remains (two cumsums per segment) is a fraction of the
+    full scalar :func:`~repro.core.splits.best_numeric_split` chain, and
+    the sort, boundary detection, variance scoring and argmin still run
+    once for the entire level.
+    """
+    entry = _BatchedNumericEntry(column, n_segments)
+    present = ~np.isnan(values)
+    if present.all():
+        entry.n_missing = np.zeros(n_segments, dtype=np.int64)
+        vp = values
+        sp = seg
+        yp = y
+        n_present = sizes
+    else:
+        entry.n_missing = np.bincount(seg[~present], minlength=n_segments)
+        vp = values[present]
+        sp = seg[present]
+        yp = y[present]
+        n_present = sizes - entry.n_missing
+    if vp.size == 0:
+        return entry
+    pres_starts = np.zeros(n_segments + 1, dtype=np.int64)
+    np.cumsum(n_present, out=pres_starts[1:])
+
+    if n_segments * 2048 <= vp.size:
+        order = np.empty(vp.size, dtype=np.int64)
+        for s in range(n_segments):
+            lo, hi = int(pres_starts[s]), int(pres_starts[s + 1])
+            order[lo:hi] = lo + np.argsort(vp[lo:hi], kind="stable")
+    else:
+        order = np.lexsort((vp, sp))
+    sv = vp[order]
+    ss = sp  # per-segment sorting never moves rows across segments
+    sy = yp[order]
+
+    bmask = (sv[:-1] < sv[1:]) & (ss[:-1] == ss[1:])
+    bidx = np.nonzero(bmask)[0]
+    if bidx.size == 0:
+        return entry
+    bseg = ss[bidx]
+    seg_start = pres_starts[:-1]
+    bstart = seg_start[bseg]
+    n_left = bidx + 1 - bstart
+    n_right = n_present[bseg] - n_left
+
+    # Per-segment cumulative sums — each slice cumsum adds the same
+    # numbers in the same order as the scalar scan, hence identical
+    # floats; only the boundary scoring below is batched.
+    sy2 = sy * sy
+    cum_y = np.empty_like(sy)
+    cum_y2 = np.empty_like(sy)
+    tot_y = np.zeros(n_segments)
+    tot_y2 = np.zeros(n_segments)
+    for s in range(n_segments):
+        lo, hi = int(pres_starts[s]), int(pres_starts[s + 1])
+        if hi > lo:
+            np.cumsum(sy[lo:hi], out=cum_y[lo:hi])
+            np.cumsum(sy2[lo:hi], out=cum_y2[lo:hi])
+            tot_y[s] = cum_y[hi - 1]
+            tot_y2[s] = cum_y2[hi - 1]
+    l_sum, l_sq = cum_y[bidx], cum_y2[bidx]
+    r_sum, r_sq = tot_y[bseg] - l_sum, tot_y2[bseg] - l_sq
+    left_imp = variance_rows(n_left.astype(float), l_sum, l_sq)
+    right_imp = variance_rows(n_right.astype(float), r_sum, r_sq)
+    scores = weighted_children_impurity(left_imp, n_left, right_imp, n_right)
+
+    first_b = _first_per_group(bseg)
+    counts_b = np.diff(np.append(first_b, bseg.size))
+    seg_min = np.minimum.reduceat(scores, first_b)
+    hit = np.nonzero(scores == np.repeat(seg_min, counts_b))[0]
+    hseg = bseg[hit]
+    hfirst = _first_per_group(hseg)
+    winners = hit[hfirst]
+    entry.best_pos[hseg[hfirst]] = winners
+    entry.seg_scores[hseg[hfirst]] = scores[winners]
+    entry.n_left = n_left
+    entry.n_right = n_right
+    entry.sv = sv
+    entry.bidx = bidx
+    entry.scores = scores
+    return entry
+
+
+def build_subtree_vectorized(
+    table: DataTable,
+    config: TreeConfig,
+    row_ids: np.ndarray,
+    candidate_columns: tuple[int, ...] | None = None,
+    root_path: int = 1,
+    counters: KernelCounters | None = None,
+    small_node_cutoff: int = DEPTH_NEXT_CUTOFF,
+) -> TreeNode:
+    """Build ``Delta_x`` level-synchronously; bit-identical to the scalar
+    :func:`~repro.core.builder.build_subtree`.
+
+    Processes the whole frontier per iteration; frontier nodes at or
+    below ``small_node_cutoff`` rows switch depth-next and are finished
+    by the scalar builder rooted at their heap path.
+    """
+    if candidate_columns is None:
+        candidate_columns = sample_candidate_columns(config, table.n_columns)
+    is_clf = table.problem is ProblemKind.CLASSIFICATION
+    criterion = config.resolved_criterion(is_clf)
+    n_classes = table.n_classes
+    is_extra = config.tree_kind is TreeKind.EXTRA
+    target = table.target
+    gather_s = 0.0
+
+    root_holder: list[TreeNode] = []
+
+    def attach_node(node: TreeNode, attach) -> None:
+        if attach is None:
+            root_holder.append(node)
+        else:
+            parent, side = attach
+            setattr(parent, side, node)
+
+    # Frontier entries: (row ids, heap path, attach) — one whole level.
+    frontier: list = [(np.asarray(row_ids, dtype=np.int64), root_path, None)]
+    while frontier:
+        big = []
+        for ids, path, attach in frontier:
+            if ids.size <= small_node_cutoff:
+                # Depth-next: the scalar builder finishes small subtrees.
+                attach_node(
+                    build_subtree(
+                        table, config, ids, candidate_columns, root_path=path
+                    ),
+                    attach,
+                )
+            else:
+                big.append((ids, path, attach))
+        if not big:
+            break
+
+        m = len(big)
+        sizes = np.fromiter(
+            (entry[0].size for entry in big), dtype=np.int64, count=m
+        )
+        starts = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+        level_rows = np.concatenate([entry[0] for entry in big])
+        seg_all = np.repeat(np.arange(m, dtype=np.int64), sizes)
+
+        tick = time.perf_counter()
+        y_lvl = target[level_rows]
+        gather_s += time.perf_counter() - tick
+
+        # -- per-node label statistics, one pass for the level ----------
+        stats_list: list[NodeStats] = []
+        if is_clf:
+            y_codes_lvl = y_lvl.astype(np.int64)
+            counts = np.bincount(
+                seg_all * n_classes + y_codes_lvl,
+                minlength=m * n_classes,
+            ).reshape(m, n_classes)
+            maxes = counts.max(axis=1)
+            for i in range(m):
+                n = int(sizes[i])
+                row = counts[i]
+                stats_list.append(
+                    NodeStats(
+                        n,
+                        (row / max(n, 1)).astype(np.float64),
+                        bool(n > 0 and maxes[i] == n),
+                        counts=row,
+                    )
+                )
+        else:
+            for i in range(m):
+                n = int(sizes[i])
+                y_seg = y_lvl[starts[i] : starts[i + 1]]
+                mean = float(y_seg.mean()) if n else 0.0
+                pure = bool(n > 0 and np.all(y_seg == y_seg[0]))
+                stats_list.append(NodeStats(n, mean, pure))
+
+        nodes: list[TreeNode] = []
+        stopped = np.zeros(m, dtype=bool)
+        for i, (ids, path, attach) in enumerate(big):
+            stats = stats_list[i]
+            node = TreeNode(
+                node_id=path,
+                depth=path_depth(path),
+                n_rows=stats.n_rows,
+                prediction=stats.prediction,
+            )
+            attach_node(node, attach)
+            nodes.append(node)
+            stopped[i] = should_stop(stats, node.depth, config)
+
+        act_idx = np.nonzero(~stopped)[0]
+        if act_idx.size == 0:
+            frontier = []
+            continue
+        a = int(act_idx.size)
+        act_sizes = sizes[act_idx]
+        act_starts = np.zeros(a + 1, dtype=np.int64)
+        np.cumsum(act_sizes, out=act_starts[1:])
+        keep = ~stopped[seg_all]
+        act_rows = level_rows[keep]
+        y_act = y_lvl[keep]
+        seg_act = np.repeat(np.arange(a, dtype=np.int64), act_sizes)
+
+        # -- best split per active node ---------------------------------
+        next_frontier: list = []
+        if is_extra:
+            # Extra-trees draw one random column per node; the draws are
+            # keyed by (seed, path, column) so the scalar helpers run
+            # per node on the level-gathered slices unchanged.
+            for j in range(a):
+                i = int(act_idx[j])
+                _, path, _ = big[i]
+                s0, s1 = int(act_starts[j]), int(act_starts[j + 1])
+                ids_seg = act_rows[s0:s1]
+                y_seg = y_act[s0:s1]
+                split = None
+                split_values = None
+                for col in extra_tree_column_order(
+                    config.seed, path, candidate_columns
+                ):
+                    spec = table.column_spec(col)
+                    tick = time.perf_counter()
+                    vals = table.column(col)[ids_seg]
+                    gather_s += time.perf_counter() - tick
+                    cand = random_split_for_column(
+                        col,
+                        spec.kind,
+                        vals,
+                        y_seg,
+                        criterion,
+                        n_classes,
+                        extra_tree_split_rng(config.seed, path, col),
+                        spec.n_categories,
+                    )
+                    if cand is not None:
+                        split, split_values = cand, vals
+                        break
+                if not split_is_useful(split, 0.0, config):
+                    continue
+                node = nodes[i]
+                node.split = split
+                go_left = route_training_rows(split_values, split)
+                next_frontier.append(
+                    (ids_seg[go_left], 2 * path, (node, "left"))
+                )
+                next_frontier.append(
+                    (ids_seg[~go_left], 2 * path + 1, (node, "right"))
+                )
+            frontier = next_frontier
+            continue
+
+        column_cache: dict[int, np.ndarray] = {}
+        entries: list = []
+        y_codes_act = None
+        act_counts = None
+        if criterion.is_classification:
+            y_codes_act = (
+                y_codes_lvl[keep] if is_clf else y_act.astype(np.int64)
+            )
+            if is_clf:
+                act_counts = counts[act_idx]
+        for col in candidate_columns:
+            spec = table.column_spec(col)
+            tick = time.perf_counter()
+            v = table.column(col)[act_rows]
+            gather_s += time.perf_counter() - tick
+            column_cache[col] = v
+            if spec.kind is ColumnKind.NUMERIC and criterion.is_classification:
+                entries.append(
+                    _batched_numeric_classification(
+                        col, v, y_codes_act, seg_act, a, act_sizes,
+                        act_counts, criterion, n_classes,
+                    )
+                )
+            elif spec.kind is ColumnKind.NUMERIC:
+                entries.append(
+                    _batched_numeric_regression(
+                        col, v, y_act, seg_act, a, act_sizes
+                    )
+                )
+            else:
+                # Order-sensitive float accumulations that cannot be
+                # restarted per segment (category subset scans): run the
+                # scalar per-column search on the node-contiguous slices.
+                splits = [
+                    best_split_for_column(
+                        col,
+                        spec.kind,
+                        v[act_starts[j] : act_starts[j + 1]],
+                        y_act[act_starts[j] : act_starts[j + 1]],
+                        criterion,
+                        n_classes,
+                        spec.n_categories,
+                    )
+                    for j in range(a)
+                ]
+                entries.append(_ObjectEntry(col, splits))
+
+        for j in range(a):
+            i = int(act_idx[j])
+            _, path, _ = big[i]
+            best_entry = None
+            best_key = None
+            for entry in entries:  # candidate_columns order
+                key = entry.key_for(j)
+                if key is None:
+                    continue
+                if best_key is None or key < best_key:
+                    best_key, best_entry = key, entry
+            split = None if best_entry is None else best_entry.split_for(j)
+            s0, s1 = int(act_starts[j]), int(act_starts[j + 1])
+            stats = stats_list[i]
+            parent_imp = parent_impurity_of(
+                y_act[s0:s1], criterion, n_classes, counts=stats.counts
+            )
+            if not split_is_useful(split, parent_imp, config):
+                continue
+            node = nodes[i]
+            node.split = split
+            go_left = route_training_rows(
+                column_cache[split.column][s0:s1], split
+            )
+            ids_seg = act_rows[s0:s1]
+            next_frontier.append((ids_seg[go_left], 2 * path, (node, "left")))
+            next_frontier.append(
+                (ids_seg[~go_left], 2 * path + 1, (node, "right"))
+            )
+        frontier = next_frontier
+
+    if counters is not None:
+        counters.gather_s += gather_s
+    return root_holder[0]

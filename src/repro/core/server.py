@@ -143,6 +143,9 @@ class TreeServer:
         """
         from ..runtime import create_runtime
 
+        kernel = getattr(self.runtime_options, "kernel", None)
+        if kernel is not None:
+            jobs = [job.with_kernel(kernel) for job in jobs]
         runtime = create_runtime(
             self.backend, self.system, self.cost, self.runtime_options
         )

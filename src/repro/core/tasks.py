@@ -452,6 +452,16 @@ class WorkerStatsMsg:
     #: ``row_response_shm`` descriptors dropped because the owning
     #: (crashed) worker's arena segment was already swept.
     stale_shm_drops: int = 0
+    # -- training-kernel counters (see repro.core.kernel) ---------------
+    #: Which subtree kernel ran last on this worker ("" = none ran).
+    subtree_kernel: str = ""
+    #: Wall-clock seconds spent inside subtree builds.
+    subtree_kernel_s: float = 0.0
+    #: Slice of the above spent gathering ``y``/column values
+    #: (vectorized kernel only).
+    subtree_gather_s: float = 0.0
+    #: Tree nodes constructed by subtree-tasks on this worker.
+    subtree_nodes_built: int = 0
 
 
 @dataclass

@@ -30,8 +30,9 @@ from ..cluster.topology import SimulatedCluster
 from ..data.schema import ColumnKind, ProblemKind
 from ..data.shm import ShmArena, ShmSlice
 from ..data.table import DataTable
-from .builder import build_subtree, extra_tree_split_rng
+from .builder import extra_tree_split_rng
 from .config import TreeKind
+from .kernel import KernelCounters, build_subtree_auto
 from .splits import (
     CandidateSplit,
     best_split_for_column,
@@ -166,6 +167,8 @@ class WorkerActor:
         # -- crash-recovery counters (reported in worker_stats) ---------
         self.revoked_trees_seen = 0
         self.stale_shm_drops = 0
+        # -- training-kernel counters (reported in worker_stats) --------
+        self.kernel_counters = KernelCounters()
         # Resident memory: held columns + the replicated Y column.
         base = sum(table.column(c).nbytes for c in self.held_columns)
         self.machine.set_base_memory(base + table.target.nbytes)
@@ -541,14 +544,16 @@ class WorkerActor:
             else:
                 columns.append(np.full(n, -1, dtype=np.int32))
         d_x = DataTable(self.table.schema, columns, self.table.target[ids])
-        root = build_subtree(
+        root = build_subtree_auto(
             d_x,
             plan.ctx.config,
             row_ids=np.arange(n, dtype=np.int64),
             candidate_columns=plan.ctx.candidate_columns,
             root_path=plan.task[1],
+            counters=self.kernel_counters,
         )
         n_nodes = root.count_nodes()
+        self.kernel_counters.nodes_built += n_nodes
         result = SubtreeResultMsg(
             task=task,
             worker=self.worker_id,

@@ -164,6 +164,11 @@ class RuntimeOptions:
     roster — a worker whose handshake host id is not in the list is
     rejected.  ``rendezvous_timeout_seconds`` bounds how long the master
     waits for all workers to dial in.
+
+    Training kernel: ``kernel`` overrides ``TreeConfig.kernel`` for every
+    tree of every submitted job (``"scalar"`` or ``"vectorized"``, see
+    ``docs/RUNTIME.md``); ``None`` leaves the per-job configs alone.  The
+    choice is performance-only — both kernels build bit-identical trees.
     """
 
     message_timeout_seconds: float = 30.0
@@ -179,8 +184,17 @@ class RuntimeOptions:
     listen: str | None = None
     expected_hosts: tuple[str, ...] | None = None
     rendezvous_timeout_seconds: float = 60.0
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
+        if self.kernel is not None:
+            from ..core.config import TREE_KERNELS
+
+            if self.kernel not in TREE_KERNELS:
+                raise ValueError(
+                    f"unknown kernel {self.kernel!r}; expected one of "
+                    f"{TREE_KERNELS} (or None to keep per-job configs)"
+                )
         if self.fault_policy is not None and self.fault_policy not in FAULT_POLICIES:
             raise ValueError(
                 f"unknown fault_policy {self.fault_policy!r}; expected one "

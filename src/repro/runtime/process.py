@@ -316,6 +316,10 @@ def _worker_main(
                     coalesced_batches=fabric.coalesced_batches,
                     revoked_trees_seen=actor.revoked_trees_seen,
                     stale_shm_drops=actor.stale_shm_drops,
+                    subtree_kernel=actor.kernel_counters.kernel,
+                    subtree_kernel_s=actor.kernel_counters.build_s,
+                    subtree_gather_s=actor.kernel_counters.gather_s,
+                    subtree_nodes_built=actor.kernel_counters.nodes_built,
                 )
                 fabric.send(worker_id, 0, MSG_WORKER_STATS, stats, 0)
                 fabric.flush()
@@ -908,9 +912,19 @@ class ProcessRuntime(Runtime):
                 "coalesced_batches": stats[wid].coalesced_batches,
                 "revoked_trees_seen": stats[wid].revoked_trees_seen,
                 "stale_shm_drops": stats[wid].stale_shm_drops,
+                "subtree_kernel": stats[wid].subtree_kernel,
+                "subtree_kernel_s": stats[wid].subtree_kernel_s,
+                "subtree_gather_s": stats[wid].subtree_gather_s,
+                "subtree_nodes_built": stats[wid].subtree_nodes_built,
             }
             for wid in sorted(stats)
         }
+        # Kernel name: every worker resolved the same config, so take the
+        # first non-empty ("" when no subtree-task ran anywhere).
+        kernel_names = [
+            w["subtree_kernel"] for w in per_worker.values()
+            if w["subtree_kernel"]
+        ]
         report.transport = {
             "shm": transport.shm_prefix is not None,
             "start_method": transport.start_method,
@@ -929,6 +943,16 @@ class ProcessRuntime(Runtime):
             ),
             "coalesced_batches": fabric.coalesced_batches
             + sum(w["coalesced_batches"] for w in per_worker.values()),
+            "kernel": kernel_names[0] if kernel_names else "",
+            "subtree_kernel_s": sum(
+                w["subtree_kernel_s"] for w in per_worker.values()
+            ),
+            "subtree_gather_s": sum(
+                w["subtree_gather_s"] for w in per_worker.values()
+            ),
+            "subtree_nodes_built": sum(
+                w["subtree_nodes_built"] for w in per_worker.values()
+            ),
             "per_worker": per_worker,
         }
         return report

@@ -549,6 +549,10 @@ def _run_socket_worker(
                     coalesced_batches=fabric.coalesced_batches,
                     revoked_trees_seen=actor.revoked_trees_seen,
                     stale_shm_drops=actor.stale_shm_drops,
+                    subtree_kernel=actor.kernel_counters.kernel,
+                    subtree_kernel_s=actor.kernel_counters.build_s,
+                    subtree_gather_s=actor.kernel_counters.gather_s,
+                    subtree_nodes_built=actor.kernel_counters.nodes_built,
                 )
                 fabric.send(worker_id, 0, MSG_WORKER_STATS, stats, 0)
                 fabric.flush()

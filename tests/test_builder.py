@@ -269,3 +269,146 @@ def test_property_any_seeded_dataset_trains(seed):
             assert node.left.n_rows + node.right.n_rows == node.n_rows
     labels = tree.predict(table)
     assert labels.shape == (60,)
+
+
+# ----------------------------------------------------------------------
+# scalar vs vectorized kernel parity (repro.core.kernel)
+# ----------------------------------------------------------------------
+def _parity_table(problem=ProblemKind.CLASSIFICATION, missing=0.1, seed=9):
+    return generate(
+        SyntheticSpec(
+            name="kparity",
+            problem=problem,
+            n_rows=500,
+            n_numeric=4,
+            n_categorical=2,
+            n_classes=3 if problem is ProblemKind.CLASSIFICATION else 2,
+            planted_depth=4,
+            noise=0.25,
+            missing_rate=missing,
+            seed=seed,
+        )
+    )
+
+
+def assert_kernels_bit_identical(table, config, row_ids=None):
+    """Scalar and vectorized builds must serialize to identical dicts."""
+    from dataclasses import replace
+
+    scalar = train_tree(table, replace(config, kernel="scalar"), row_ids=row_ids)
+    vec = train_tree(table, replace(config, kernel="vectorized"), row_ids=row_ids)
+    assert trees_equal(scalar, vec)
+    assert scalar.to_dict() == vec.to_dict()
+    return scalar
+
+
+class TestKernelParity:
+    """The vectorized kernel is bit-identical to the scalar builder.
+
+    This is the exactness invariant extended to the kernel seam: the
+    level-synchronous builder must reproduce heap paths, RNG draws, and
+    every tie-break of the scalar path across the whole configuration
+    matrix.
+    """
+
+    @pytest.mark.parametrize("criterion", [Impurity.GINI, Impurity.ENTROPY])
+    @pytest.mark.parametrize("missing", [0.0, 0.15])
+    def test_classification_decision(self, criterion, missing):
+        table = _parity_table(missing=missing)
+        assert_kernels_bit_identical(
+            table, TreeConfig(max_depth=None, criterion=criterion, seed=3)
+        )
+
+    @pytest.mark.parametrize("missing", [0.0, 0.15])
+    def test_regression_decision(self, missing):
+        table = _parity_table(problem=ProblemKind.REGRESSION, missing=missing)
+        assert_kernels_bit_identical(
+            table,
+            TreeConfig(max_depth=None, criterion=Impurity.VARIANCE, seed=4),
+        )
+
+    @pytest.mark.parametrize(
+        "problem", [ProblemKind.CLASSIFICATION, ProblemKind.REGRESSION]
+    )
+    def test_extra_trees(self, problem):
+        table = _parity_table(problem=problem)
+        assert_kernels_bit_identical(
+            table,
+            TreeConfig(max_depth=None, tree_kind=TreeKind.EXTRA, seed=7),
+        )
+
+    def test_bootstrap_rows(self):
+        table = _parity_table()
+        rows = bootstrap_row_ids(21, table.n_rows)
+        assert_kernels_bit_identical(
+            table, TreeConfig(max_depth=None, seed=21), row_ids=rows
+        )
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            TreeConfig(max_depth=0),
+            TreeConfig(max_depth=1),
+            TreeConfig(max_depth=None, tau_leaf=50),
+            TreeConfig(max_depth=None, min_impurity_decrease=0.5),
+            TreeConfig(
+                max_depth=6, column_sampling=ColumnSampling.SQRT, seed=2
+            ),
+        ],
+        ids=["depth0", "depth1", "tau-leaf-50", "high-gain-bar", "sqrt-cols"],
+    )
+    def test_edge_configs(self, config):
+        assert_kernels_bit_identical(_parity_table(), config)
+
+    @pytest.mark.parametrize("cutoff", [0, 3, 1_000_000])
+    def test_depth_next_cutoff_is_exact(self, cutoff):
+        """Any small-node cutoff only moves work between identical paths."""
+        from repro.core.kernel import build_subtree_vectorized
+
+        table = _parity_table()
+        cfg = TreeConfig(max_depth=None, seed=5)
+        rows = np.arange(table.n_rows, dtype=np.int64)
+        scalar = build_subtree(table, cfg, rows)
+        vec = build_subtree_vectorized(
+            table, cfg, rows, small_node_cutoff=cutoff
+        )
+        from repro.core.tree import node_to_dict
+
+        assert node_to_dict(scalar) == node_to_dict(vec)
+
+    def test_env_override_wins(self, monkeypatch):
+        from repro.core.kernel import KernelCounters, build_subtree_auto
+
+        table = _parity_table()
+        rows = np.arange(table.n_rows, dtype=np.int64)
+        counters = KernelCounters()
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        build_subtree_auto(
+            table, TreeConfig(max_depth=4), rows, counters=counters
+        )
+        assert counters.kernel == "scalar"
+        assert counters.build_s > 0
+
+    def test_env_override_validated(self, monkeypatch):
+        from repro.core.kernel import resolve_kernel
+
+        monkeypatch.setenv("REPRO_KERNEL", "turbo")
+        with pytest.raises(ValueError, match="REPRO_KERNEL"):
+            resolve_kernel(TreeConfig())
+
+    def test_config_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            TreeConfig(kernel="turbo")
+
+    def test_counters_accumulate(self):
+        from repro.core.kernel import KernelCounters, build_subtree_auto
+
+        table = _parity_table()
+        rows = np.arange(table.n_rows, dtype=np.int64)
+        counters = KernelCounters()
+        build_subtree_auto(
+            table, TreeConfig(max_depth=None), rows, counters=counters
+        )
+        assert counters.kernel == "vectorized"
+        assert counters.build_s > 0
+        assert 0 <= counters.gather_s <= counters.build_s
