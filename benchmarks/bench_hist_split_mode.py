@@ -1,0 +1,178 @@
+"""Histogram split mode: message bytes and wall clock vs exact, socket.
+
+Trains the same jobs on the same tables through the socket backend with
+the shared-memory data plane off (every payload is pickled inline), once
+with ``split_mode="exact"`` and once with ``split_mode="hist"`` at the
+default 32 bins, on two shapes:
+
+* a **wide** table (48 numeric columns, modest rows) — the shape the
+  histogram mode targets: subtree gathers ship one slice per candidate
+  column, so the float64 -> int8 bucket-code substitution multiplies
+  across the column count;
+* a **tall** table (8 columns, many rows) — fewer, fatter slices, the
+  per-slice cut with less amplification.
+
+The shape is gather-dominated (``tau_subtree`` above the row count, so
+every tree trains as one subtree task whose worker fetches all candidate
+columns from single-replica holders) — the regime where split mode
+changes what crosses the wire rather than just what the master scores.
+
+The headline, deterministic metric is total ``bytes_pickled`` across the
+fleet: bucket codes are one byte per cell against eight for raw float64
+columns, so hist must cut the total by more than half on both shapes.
+Wall clock is reported min-of-N but asserted only as a bounded-overhead
+check — at this laptop scale the byte savings are milliseconds, and on a
+shared single core (CI) scheduler noise dwarfs them — so hist must
+merely stay within a noise factor of exact everywhere, and the JSON
+records ``cores`` so a reader can tell which regime produced the
+numbers.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import SystemConfig, TreeConfig, TreeServer, decision_tree_job
+from repro.datasets import SyntheticSpec, generate
+from repro.runtime import RuntimeOptions
+
+from conftest import save_result
+
+HIST_MAX_BINS = 32
+HIST_N_JOBS = 3
+HIST_MAX_DEPTH = 8
+HIST_REPEATS = 3
+#: hist must cut the fleet's total pickled bytes to at most this ratio.
+HIST_MAX_BYTE_RATIO = 0.5
+#: hist may lag exact wall-clock by at most this factor (noise bound).
+HIST_WALL_TOLERANCE = 1.3
+
+SHAPES = (
+    ("wide", SyntheticSpec("hist-wide", 4_000, 48, 0, seed=11)),
+    ("tall", SyntheticSpec("hist-tall", 30_000, 8, 0, seed=12)),
+)
+
+REPO_ROOT = Path(__file__).parents[1]
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_hist_split_mode(run_once):
+    def experiment():
+        rows = []
+        for label, spec in SHAPES:
+            table = generate(spec)
+            system = SystemConfig(
+                n_workers=3,
+                compers_per_worker=2,
+                column_replication=1,
+                tau_subtree=table.n_rows * 2,
+                tau_dfs=table.n_rows * 2,
+            )
+            options = RuntimeOptions(
+                use_shm=False, message_timeout_seconds=120.0
+            )
+
+            def run(mode):
+                config = TreeConfig(
+                    max_depth=HIST_MAX_DEPTH,
+                    split_mode=mode,
+                    max_bins=HIST_MAX_BINS,
+                )
+                jobs = [
+                    decision_tree_job(f"dt{i}", config.with_seed(i))
+                    for i in range(HIST_N_JOBS)
+                ]
+                server = TreeServer(
+                    system, backend="socket", runtime_options=options
+                )
+                start = time.perf_counter()
+                report = server.fit(table, jobs)
+                return time.perf_counter() - start, report
+
+            walls = {"exact": [], "hist": []}
+            reports = {}
+            for _ in range(HIST_REPEATS):  # interleave to share drift
+                for mode in ("exact", "hist"):
+                    wall, report = run(mode)
+                    walls[mode].append(wall)
+                    reports[mode] = report
+
+            def fleet_bytes(report):
+                return report.cluster.transport["bytes_pickled"]
+
+            exact_bytes = fleet_bytes(reports["exact"])
+            hist_bytes = fleet_bytes(reports["hist"])
+            rows.append(
+                {
+                    "shape": label,
+                    "n_rows": table.n_rows,
+                    "n_columns": len(table.schema.columns),
+                    "exact_wall_seconds": min(walls["exact"]),
+                    "hist_wall_seconds": min(walls["hist"]),
+                    "hist_speedup": min(walls["exact"])
+                    / min(walls["hist"]),
+                    "exact_bytes_pickled": exact_bytes,
+                    "hist_bytes_pickled": hist_bytes,
+                    "byte_ratio": hist_bytes / exact_bytes,
+                }
+            )
+        return {
+            "max_bins": HIST_MAX_BINS,
+            "n_jobs": HIST_N_JOBS,
+            "max_depth": HIST_MAX_DEPTH,
+            "repeats": HIST_REPEATS,
+            "backend": "socket, shm off (inline rows)",
+            "cores": _cores(),
+            "runs": rows,
+        }
+
+    result = run_once(experiment)
+
+    cores = result["cores"]
+    lines = [
+        f"Histogram split mode vs exact (socket, shm off, "
+        f"{HIST_N_JOBS} trees, depth {HIST_MAX_DEPTH}, "
+        f"{HIST_MAX_BINS} bins, min of {HIST_REPEATS}, {cores} core(s))",
+        f"{'shape':>8s}{'rows':>8s}{'cols':>6s}{'exact wall':>12s}"
+        f"{'hist wall':>12s}{'speedup':>9s}{'pickled MB':>16s}{'ratio':>7s}",
+    ]
+    for row in result["runs"]:
+        lines.append(
+            f"{row['shape']:>8s}"
+            f"{row['n_rows']:>8,d}"
+            f"{row['n_columns']:>6d}"
+            f"{row['exact_wall_seconds']:>11.2f}s"
+            f"{row['hist_wall_seconds']:>11.2f}s"
+            f"{row['hist_speedup']:>8.2f}x"
+            f"{row['exact_bytes_pickled'] / 1e6:>8.2f}"
+            f"/{row['hist_bytes_pickled'] / 1e6:<.2f}"
+            f"{row['byte_ratio']:>7.2f}"
+        )
+    save_result("hist_split_mode", "\n".join(lines))
+
+    bench_path = REPO_ROOT / "BENCH_runtime.json"
+    merged = (
+        json.loads(bench_path.read_text()) if bench_path.exists() else {}
+    )
+    merged["hist"] = result
+    bench_path.write_text(json.dumps(merged, indent=2) + "\n")
+
+    # Deterministic headline: bucket codes instead of float64 column
+    # slices must cut the fleet's pickled bytes by more than half on
+    # both shapes.
+    assert all(
+        r["byte_ratio"] <= HIST_MAX_BYTE_RATIO for r in result["runs"]
+    ), result
+    # Wall clock: the byte savings are small at this scale, so on any
+    # hardware hist must only stay within a noise bound of exact.
+    assert all(
+        r["hist_speedup"] >= 1.0 / HIST_WALL_TOLERANCE
+        for r in result["runs"]
+    ), result

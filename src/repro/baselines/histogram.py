@@ -1,122 +1,32 @@
-"""Equi-depth histogram split candidates — PLANET / Spark MLlib style.
+"""Equi-depth histogram splits — re-exports of the promoted core module.
 
-PLANET (and MLlib, which adopts it) avoids the per-split-value communication
-of exact search by computing, per numeric attribute, an approximate
-equi-depth histogram up front and considering *one* splitting value per
-bucket (paper Section II, Related Systems).  MLlib exposes this as the
-``maxBins`` parameter (default 32), which the paper uses in Table II.
-
-:func:`equi_depth_thresholds` computes the candidate split values exactly as
-MLlib's ``findSplits`` does conceptually: quantiles of the full column.
-:func:`best_binned_numeric_split` then scores only those candidates, reusing
-the repository's impurity machinery so the accuracy difference vs exact
-search is purely the binning approximation — the effect Table II measures.
+This module started as the PLANET / Spark-MLlib-style prototype of
+histogram split search (the comparison system of the paper's Table II).
+The machinery has been promoted into :mod:`repro.core.histogram` as the
+engine behind ``TreeConfig(split_mode="hist")`` — gaining the
+exact-collapse parity fix (columns with at most ``max_bins`` distinct
+values bin on their exact distinct values), node-local missing-row
+accounting, and degenerate-column guards on the way.  The
+:mod:`repro.baselines.planet` trainer keeps importing from here; it now
+runs on exactly the same code as the core hist path.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..core.impurity import (
-    Impurity,
-    classification_impurity_rows,
-    variance_rows,
-    weighted_children_impurity,
+from ..core.histogram import (
+    ColumnHistogram,
+    best_binned_numeric_split,
+    bin_indices,
+    column_histogram,
+    equi_depth_thresholds,
+    score_histogram,
 )
-from ..core.splits import CandidateSplit
-from ..data.schema import ColumnKind
 
-
-def equi_depth_thresholds(values: np.ndarray, max_bins: int) -> np.ndarray:
-    """Candidate thresholds: ``max_bins - 1`` equi-depth quantiles.
-
-    Computed once per column over the whole table at training start, as in
-    MLlib; missing values are ignored.  Duplicate quantiles collapse, so
-    low-cardinality columns get exact candidate sets (also as in MLlib).
-    """
-    if max_bins < 2:
-        raise ValueError("max_bins must be >= 2")
-    present = values[~np.isnan(values)]
-    if present.size == 0:
-        return np.empty(0)
-    qs = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
-    # method="lower": candidates are actual data values, as in MLlib.
-    thresholds = np.unique(np.quantile(present, qs, method="lower"))
-    # A threshold equal to the maximum would send everything left.
-    return thresholds[thresholds < present.max()]
-
-
-def bin_indices(values: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
-    """Bucket index per row: ``searchsorted`` over the thresholds.
-
-    Bin ``b`` contains rows with ``thresholds[b-1] < v <= thresholds[b]``;
-    missing values get bin ``-1``.
-    """
-    bins = np.searchsorted(thresholds, values, side="left").astype(np.int64)
-    bins[np.isnan(values)] = -1
-    return bins
-
-
-def best_binned_numeric_split(
-    column: int,
-    bins: np.ndarray,
-    thresholds: np.ndarray,
-    y: np.ndarray,
-    criterion: Impurity,
-    n_classes: int,
-) -> CandidateSplit | None:
-    """Best candidate threshold from pre-binned values.
-
-    Statistics per bucket are what the distributed PLANET aggregation ships;
-    scoring over ``<= max_bins`` prefix cuts replaces the exact scan.
-    """
-    present = bins >= 0
-    n_missing = int(bins.size - present.sum())
-    b = bins[present]
-    ys = y[present]
-    if b.size < 2 or thresholds.size == 0:
-        return None
-    n_bins = len(thresholds) + 1
-
-    if criterion.is_classification:
-        flat = b * n_classes + ys.astype(np.int64)
-        stats = np.bincount(flat, minlength=n_bins * n_classes).reshape(
-            n_bins, n_classes
-        ).astype(np.float64)
-        cum = np.cumsum(stats, axis=0)[:-1]  # prefix: "bin <= t" per threshold
-        total = stats.sum(axis=0)
-        n_left = cum.sum(axis=1)
-        n_right = total.sum() - n_left
-        left_imp = classification_impurity_rows(cum, criterion)
-        right_imp = classification_impurity_rows(total[None, :] - cum, criterion)
-    else:
-        counts = np.bincount(b, minlength=n_bins).astype(np.float64)
-        sums = np.bincount(b, weights=ys, minlength=n_bins)
-        sqs = np.bincount(b, weights=ys * ys, minlength=n_bins)
-        c_cum = np.cumsum(counts)[:-1]
-        s_cum = np.cumsum(sums)[:-1]
-        q_cum = np.cumsum(sqs)[:-1]
-        n_left = c_cum
-        n_right = counts.sum() - c_cum
-        left_imp = variance_rows(c_cum, s_cum, q_cum)
-        right_imp = variance_rows(
-            counts.sum() - c_cum, sums.sum() - s_cum, sqs.sum() - q_cum
-        )
-
-    valid = (n_left > 0) & (n_right > 0)
-    if not valid.any():
-        return None
-    scores = weighted_children_impurity(left_imp, n_left, right_imp, n_right)
-    scores = np.where(valid, scores, np.inf)
-    best = int(np.argmin(scores))
-    nl, nr = int(n_left[best]), int(n_right[best])
-    return CandidateSplit(
-        column=column,
-        kind=ColumnKind.NUMERIC,
-        score=float(scores[best]),
-        n_left=nl + (n_missing if nl >= nr else 0),
-        n_right=nr + (0 if nl >= nr else n_missing),
-        threshold=float(thresholds[best]),
-        n_missing=n_missing,
-        missing_to_left=nl >= nr,
-    )
+__all__ = [
+    "ColumnHistogram",
+    "best_binned_numeric_split",
+    "bin_indices",
+    "column_histogram",
+    "equi_depth_thresholds",
+    "score_histogram",
+]

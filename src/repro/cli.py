@@ -38,7 +38,13 @@ import sys
 
 import numpy as np
 
-from .core.config import TREE_KERNELS, SystemConfig, TreeConfig, TreeKind
+from .core.config import (
+    SPLIT_MODES,
+    TREE_KERNELS,
+    SystemConfig,
+    TreeConfig,
+    TreeKind,
+)
 from .core.jobs import decision_tree_job, extra_trees_job, random_forest_job
 from .core.persistence import load_model_local, save_model_local
 from .core.server import TreeServer
@@ -129,6 +135,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="subtree training kernel: vectorized (level-synchronous "
         "breadth-first batching, default) or scalar (one node at a "
         "time); both build bit-identical trees",
+    )
+    train.add_argument(
+        "--split-mode", choices=SPLIT_MODES, default="exact",
+        help="numeric split search: exact (every distinct value, "
+        "default) or hist (equi-depth histogram summaries, O(bins) "
+        "scoring and far smaller messages; columns with <= max_bins "
+        "distinct values stay exact)",
+    )
+    train.add_argument(
+        "--max-bins", type=int, default=32, metavar="B",
+        help="hist split mode: maximum histogram bins per numeric "
+        "column (default: 32; must be >= 2)",
     )
 
     predict = sub.add_parser("predict", help="apply a saved model to a CSV")
@@ -273,6 +291,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_train(args: argparse.Namespace, out) -> int:
+    if args.max_bins < 2:
+        print("--max-bins must be >= 2", file=sys.stderr)
+        return 2
     table = read_csv(args.csv, target=args.target)
     config = TreeConfig(
         max_depth=args.max_depth,
@@ -280,6 +301,8 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
         tree_kind=TreeKind.EXTRA if args.extra_trees else TreeKind.DECISION,
         seed=args.seed,
         kernel=args.kernel,
+        split_mode=args.split_mode,
+        max_bins=args.max_bins,
     )
     if args.forest > 0:
         if args.extra_trees:

@@ -23,9 +23,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..data.schema import ProblemKind
+from ..data.schema import ColumnKind, ProblemKind
 from ..data.table import DataTable
 from .config import TreeConfig, TreeKind
+from .histogram import best_binned_numeric_split, bin_indices
 from .impurity import classification_impurity, variance
 from .splits import (
     CandidateSplit,
@@ -34,6 +35,9 @@ from .splits import (
     route_training_rows,
 )
 from .tree import DecisionTree, TreeNode
+
+#: Empty threshold set: a degenerate hist-mode column offers no candidates.
+_NO_THRESHOLDS = np.empty(0)
 
 
 def path_depth(path: int) -> int:
@@ -137,6 +141,7 @@ def find_best_split(
     candidate_columns: tuple[int, ...],
     config: TreeConfig,
     path: int,
+    thresholds: dict[int, np.ndarray] | None = None,
 ) -> CandidateSplit | None:
     """Best split across the candidate attributes for one node.
 
@@ -144,6 +149,11 @@ def find_best_split(
     the lower column index.  Extra-trees draw one random column and one
     random condition per node (paper Appendix F), retrying over the
     remaining columns when the draw is degenerate.
+
+    ``thresholds`` switches numeric columns to histogram prefix-cut search
+    (``split_mode="hist"``): per-column equi-depth thresholds, computed
+    once over the full table, restrict the candidate cuts; statistics stay
+    node-local.  Categorical columns are searched exactly either way.
     """
     y = table.target[row_ids]
     criterion = config.resolved_criterion(
@@ -171,15 +181,26 @@ def find_best_split(
     best: CandidateSplit | None = None
     for col in candidate_columns:
         spec = table.column_spec(col)
-        split = best_split_for_column(
-            col,
-            spec.kind,
-            table.column(col)[row_ids],
-            y,
-            criterion,
-            n_classes,
-            spec.n_categories,
-        )
+        if thresholds is not None and spec.kind is ColumnKind.NUMERIC:
+            t = thresholds.get(col, _NO_THRESHOLDS)
+            split = best_binned_numeric_split(
+                col,
+                bin_indices(table.column(col)[row_ids], t),
+                t,
+                y,
+                criterion,
+                n_classes,
+            )
+        else:
+            split = best_split_for_column(
+                col,
+                spec.kind,
+                table.column(col)[row_ids],
+                y,
+                criterion,
+                n_classes,
+                spec.n_categories,
+            )
         if split is None:
             continue
         if best is None or split.sort_key() < best.sort_key():
@@ -241,11 +262,14 @@ def build_subtree(
     row_ids: np.ndarray,
     candidate_columns: tuple[int, ...] | None = None,
     root_path: int = 1,
+    thresholds: dict[int, np.ndarray] | None = None,
 ) -> TreeNode:
     """Build the subtree ``Delta_x`` rooted at heap path ``root_path``.
 
     Iterative (explicit stack) so unbounded-depth trees are safe.  This is
     exactly the computation a subtree-task performs on its key worker.
+    ``thresholds`` (hist mode) restricts numeric split search to the
+    global equi-depth candidate cuts — see :func:`find_best_split`.
     """
     if candidate_columns is None:
         candidate_columns = sample_candidate_columns(config, table.n_columns)
@@ -277,7 +301,9 @@ def build_subtree(
 
         if should_stop(stats, node.depth, config):
             continue
-        split = find_best_split(table, ids, candidate_columns, config, path)
+        split = find_best_split(
+            table, ids, candidate_columns, config, path, thresholds
+        )
         parent_imp = parent_impurity_of(
             y, criterion, table.n_classes, counts=stats.counts
         )
@@ -306,13 +332,24 @@ def train_tree(
     serial path, the deep-forest local backend and the fairness benchmarks
     all run the level-synchronous kernel; the result is bit-identical
     either way.
+
+    In hist mode (``config.split_mode="hist"``) the equi-depth thresholds
+    are computed here from the **full** table — even when ``row_ids``
+    restricts training to a subset — matching the distributed engine,
+    whose threshold book is built once per run before any task runs.
     """
     # Imported here, not at module level: kernel.py builds on this module.
+    from .histogram import column_thresholds, hist_active
     from .kernel import build_subtree_auto
 
     if row_ids is None:
         row_ids = np.arange(table.n_rows, dtype=np.int64)
-    root = build_subtree_auto(table, config, row_ids)
+    thresholds = (
+        column_thresholds(table, config.max_bins)
+        if hist_active(config)
+        else None
+    )
+    root = build_subtree_auto(table, config, row_ids, thresholds=thresholds)
     return DecisionTree(
         root=root,
         problem=table.problem,

@@ -40,6 +40,14 @@ class TreeKind(enum.Enum):
 #: kernel in :mod:`repro.core.kernel`.  Both produce bit-identical trees.
 TREE_KERNELS = ("scalar", "vectorized")
 
+#: Split-search modes accepted by ``TreeConfig.split_mode`` (and the
+#: ``repro train --split-mode`` flag).  ``"exact"`` is the paper's exact
+#: per-boundary scan; ``"hist"`` scores equi-depth histogram prefix cuts
+#: (PLANET / MLlib ``maxBins`` style, see :mod:`repro.core.histogram`) so
+#: column-task workers ship O(bins) summaries instead of exact results
+#: and subtree gathers ship small bin codes instead of float64 columns.
+SPLIT_MODES = ("exact", "hist")
+
 
 class ColumnSampling(enum.Enum):
     """How the candidate attribute set ``C`` is drawn for each tree."""
@@ -83,6 +91,19 @@ class TreeConfig:
         at-a-time reference builder).  The two are bit-identical; the
         choice only affects wall-clock.  Travels inside every task plan,
         so all runtime backends honour it.
+    split_mode:
+        ``"exact"`` (default — the paper's exact per-boundary scan) or
+        ``"hist"`` (equi-depth histogram prefix cuts over at most
+        ``max_bins`` buckets, thresholds computed once per column over
+        the full table at training start).  Applies to numeric columns
+        of decision trees; categorical splits and extra-trees draws stay
+        exact in either mode.  On columns with at most ``max_bins``
+        distinct values, hist mode reproduces the exact tree
+        bit-identically (see docs/RUNTIME.md, "Split modes").
+    max_bins:
+        Maximum histogram bucket count per numeric column in hist mode
+        (MLlib's ``maxBins``; default 32, must be >= 2).  Ignored in
+        exact mode.
     """
 
     max_depth: int | None = 10
@@ -94,12 +115,23 @@ class TreeConfig:
     min_impurity_decrease: float = 1e-12
     seed: int = 0
     kernel: str = "vectorized"
+    split_mode: str = "exact"
+    max_bins: int = 32
 
     def __post_init__(self) -> None:
         if self.kernel not in TREE_KERNELS:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; expected one of "
                 f"{TREE_KERNELS}"
+            )
+        if self.split_mode not in SPLIT_MODES:
+            raise ValueError(
+                f"unknown split_mode {self.split_mode!r}; expected one of "
+                f"{SPLIT_MODES}"
+            )
+        if self.max_bins < 2:
+            raise ValueError(
+                f"max_bins must be >= 2, got {self.max_bins!r}"
             )
 
     def resolved_criterion(self, is_classification: bool) -> Impurity:

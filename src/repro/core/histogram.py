@@ -1,0 +1,365 @@
+"""Equi-depth histogram split machinery — the ``split_mode="hist"`` path.
+
+The paper's TreeServer computes *exact* splits: a column-task worker scans
+every distinct-value boundary of its columns and the result it ships is
+already O(1) per column.  The communication-heavy part of the protocol is
+elsewhere — subtree-task gathers ship whole float64 column slices, and the
+related PLANET / MLlib / PV-Tree line of work replaces exact scans with
+equi-depth histograms precisely to shrink what travels.  This module is
+that machinery, promoted from ``repro.baselines.histogram`` into the core
+engine behind the existing task seam:
+
+* :func:`equi_depth_thresholds` / :func:`bin_indices` — candidate
+  thresholds per column (computed **once over the full table** at training
+  start and shipped to every machine) and the per-row bucket codes.
+* :class:`ColumnHistogram` — the per-(node, column) summary a column-task
+  worker ships instead of an exact split: per-bin class counts
+  (classification) or per-bin ``(count, sum, sum-of-squares)``
+  (regression), plus the node-local missing-row count.
+* :func:`score_histogram` — the master-side O(bins) prefix-cut scoring
+  that turns a summary into a :class:`~repro.core.splits.CandidateSplit`.
+* :func:`encode_bin_codes` / :func:`decode_bin_codes` — the subtree-task
+  data plane: column servers ship int8/int16 bucket codes instead of
+  float64 values, and the key worker decodes them into *pseudo-values*
+  (the bucket's threshold) that rebin and route exactly like the
+  originals.
+
+**Exact-collapse guarantee.**  When a column has at most ``max_bins``
+distinct present values, the thresholds are exactly the distinct values
+(all but the largest), every prefix cut corresponds 1:1 to an exact-scan
+boundary, and the integer statistics make the scores bit-identical — so
+hist mode reproduces the exact-mode tree bit-for-bit on such columns.
+The scorer keeps the exact scan's deterministic tie rules: within a
+column the *first* minimum (smallest threshold) wins, across columns the
+strictly smaller ``(score, column)`` key wins.
+
+**Node-local accounting.**  Every statistic here — including
+``n_missing`` and the derived ``missing_to_left`` — is computed from the
+rows of the node being split, never from whole-table bins, so the
+delegate-protocol invariant ``|I_xl| + |I_xr| = |I_x|`` holds for every
+node (the master asserts it on every ``split_done``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import ColumnKind
+from .impurity import (
+    Impurity,
+    classification_impurity_rows,
+    variance_rows,
+    weighted_children_impurity,
+)
+from .splits import CandidateSplit
+
+#: A threshold book: ``{max_bins: {column: thresholds array}}``, covering
+#: every numeric column of the table for every distinct ``max_bins`` any
+#: submitted hist-mode tree uses.  Computed once at training start from
+#: the full table and shipped to the master and every worker, so every
+#: machine bins against identical global thresholds.
+ThresholdBook = dict[int, dict[int, np.ndarray]]
+
+
+def hist_active(config) -> bool:
+    """Whether a tree config trains with histogram splits.
+
+    Histogram mode applies to decision trees only: extra-trees draw
+    random thresholds from the actual node values (Appendix F) and are
+    unaffected by ``split_mode``.
+    """
+    from .config import TreeKind
+
+    return config.split_mode == "hist" and config.tree_kind is TreeKind.DECISION
+
+
+# ----------------------------------------------------------------------
+# thresholds and bucket codes
+# ----------------------------------------------------------------------
+def equi_depth_thresholds(values: np.ndarray, max_bins: int) -> np.ndarray:
+    """Candidate thresholds: at most ``max_bins - 1`` equi-depth quantiles.
+
+    Computed once per column over the whole table at training start, as in
+    MLlib's ``findSplits``; missing values are ignored.  Columns with at
+    most ``max_bins`` distinct present values collapse to their *exact*
+    distinct values (all but the largest — a threshold equal to the
+    maximum would send everything left), which is what makes hist mode
+    bit-identical to exact mode on low-cardinality columns; sampling
+    quantile positions alone would skip distinct values on skewed
+    distributions.  Degenerate columns (all-NaN, constant, or quantiles
+    collapsing onto the maximum) return an empty array, meaning "no split
+    candidates" — never an exception downstream.
+    """
+    if max_bins < 2:
+        raise ValueError("max_bins must be >= 2")
+    values = np.asarray(values, dtype=np.float64)
+    present = values[~np.isnan(values)]
+    if present.size == 0:
+        return np.empty(0)
+    distinct = np.unique(present)
+    if distinct.size <= max_bins:
+        # Exact collapse: one bucket per distinct value.
+        return distinct[:-1]
+    qs = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+    # method="lower": candidates are actual data values, as in MLlib.
+    thresholds = np.unique(np.quantile(present, qs, method="lower"))
+    return thresholds[thresholds < distinct[-1]]
+
+
+def bin_indices(values: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Bucket index per row: ``searchsorted`` over the thresholds.
+
+    Bin ``b`` contains rows with ``thresholds[b-1] < v <= thresholds[b]``
+    (the last bin, index ``len(thresholds)``, holds everything above the
+    largest threshold); missing values get bin ``-1``.  An empty
+    thresholds array puts every present row in bin 0 — downstream scoring
+    treats that as "no split" cleanly.
+    """
+    bins = np.searchsorted(thresholds, values, side="left").astype(np.int64)
+    bins[np.isnan(values)] = -1
+    return bins
+
+
+def bin_code_dtype(n_thresholds: int) -> np.dtype:
+    """Smallest signed integer dtype holding codes ``-1..n_thresholds``."""
+    if n_thresholds <= np.iinfo(np.int8).max:
+        return np.dtype(np.int8)
+    if n_thresholds <= np.iinfo(np.int16).max:
+        return np.dtype(np.int16)
+    return np.dtype(np.int32)
+
+
+def encode_bin_codes(values: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Compact bucket codes of a column slice for the wire (1–2 bytes/row)."""
+    return bin_indices(values, thresholds).astype(bin_code_dtype(thresholds.size))
+
+
+def decode_bin_codes(codes: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Pseudo-values for received bucket codes.
+
+    Code ``b < len(thresholds)`` maps to ``thresholds[b]``, the overflow
+    bucket to ``+inf``, missing (``-1``) to NaN.  Because thresholds
+    strictly increase, ``pseudo <= t`` holds exactly when the original
+    value satisfied ``v <= t`` for every candidate threshold ``t`` — so
+    rebinning and routing pseudo-values is identical to routing the
+    originals, which is what lets a key worker run a whole hist-mode
+    subtree on decoded columns.
+    """
+    ext = np.empty(thresholds.size + 1, dtype=np.float64)
+    ext[: thresholds.size] = thresholds
+    ext[thresholds.size] = np.inf
+    out = ext[np.maximum(codes, 0).astype(np.int64)]
+    out[codes < 0] = np.nan
+    return out
+
+
+# ----------------------------------------------------------------------
+# per-(node, column) summaries and prefix-cut scoring
+# ----------------------------------------------------------------------
+@dataclass
+class ColumnHistogram:
+    """Sufficient split statistics of one column at one node.
+
+    This is what a hist-mode column-task worker ships to the master in
+    place of an exact :class:`~repro.core.splits.CandidateSplit`: O(bins)
+    integers/floats per column instead of an O(rows) scan result.
+    ``counts`` is the ``(n_bins, n_classes)`` class-count matrix
+    (classification); ``bin_counts`` / ``y_sum`` / ``y_sq_sum`` are the
+    per-bin regression triples.  ``n_missing`` is the **node-local**
+    missing-row count (rows of this node with NaN in this column).
+    """
+
+    column: int
+    n_missing: int = 0
+    counts: np.ndarray | None = None
+    bin_counts: np.ndarray | None = None
+    y_sum: np.ndarray | None = None
+    y_sq_sum: np.ndarray | None = None
+
+
+def column_histogram(
+    column: int,
+    codes: np.ndarray,
+    y: np.ndarray,
+    n_bins: int,
+    criterion: Impurity,
+    n_classes: int,
+) -> ColumnHistogram:
+    """Accumulate one node's per-bin statistics from its own rows.
+
+    ``codes`` are the node rows' bucket codes (``-1`` missing), so every
+    statistic — including ``n_missing`` — is node-local by construction.
+    """
+    present = codes >= 0
+    n_missing = int(codes.size - present.sum())
+    b = codes[present].astype(np.int64)
+    ys = y[present]
+    if criterion.is_classification:
+        flat = b * n_classes + ys.astype(np.int64)
+        counts = np.bincount(flat, minlength=n_bins * n_classes).reshape(
+            n_bins, n_classes
+        )
+        return ColumnHistogram(column=column, n_missing=n_missing, counts=counts)
+    return ColumnHistogram(
+        column=column,
+        n_missing=n_missing,
+        bin_counts=np.bincount(b, minlength=n_bins),
+        y_sum=np.bincount(b, weights=ys, minlength=n_bins),
+        y_sq_sum=np.bincount(b, weights=ys * ys, minlength=n_bins),
+    )
+
+
+def score_histogram(
+    hist: ColumnHistogram,
+    thresholds: np.ndarray,
+    criterion: Impurity,
+) -> CandidateSplit | None:
+    """Best prefix cut of one node-local histogram.
+
+    The master-side half of the hist column-task: O(bins) work per
+    column.  Tie rules match the exact scan — ``np.argmin`` over cuts in
+    ascending-threshold order picks the *first* minimum, i.e. the
+    smallest threshold; invalid cuts (an empty child) are masked to
+    ``inf``; ``None`` means "this column offers no split".  Missing rows
+    join the larger child, counted from the node's own rows.
+    """
+    if thresholds.size == 0:
+        return None
+    n_missing = hist.n_missing
+    if criterion.is_classification:
+        stats = hist.counts.astype(np.float64)
+        cum = np.cumsum(stats, axis=0)[:-1]  # prefix: "bin <= t" per cut
+        total = stats.sum(axis=0)
+        n_left = cum.sum(axis=1)
+        n_right = total.sum() - n_left
+        left_imp = classification_impurity_rows(cum, criterion)
+        right_imp = classification_impurity_rows(total[None, :] - cum, criterion)
+    else:
+        counts = hist.bin_counts.astype(np.float64)
+        c_cum = np.cumsum(counts)[:-1]
+        s_cum = np.cumsum(hist.y_sum)[:-1]
+        q_cum = np.cumsum(hist.y_sq_sum)[:-1]
+        n_left = c_cum
+        n_right = counts.sum() - c_cum
+        left_imp = variance_rows(c_cum, s_cum, q_cum)
+        right_imp = variance_rows(
+            counts.sum() - c_cum,
+            hist.y_sum.sum() - s_cum,
+            hist.y_sq_sum.sum() - q_cum,
+        )
+    valid = (n_left > 0) & (n_right > 0)
+    if not valid.any():
+        return None
+    scores = weighted_children_impurity(left_imp, n_left, right_imp, n_right)
+    scores = np.where(valid, scores, np.inf)
+    best = int(np.argmin(scores))  # first minimum == smallest threshold
+    nl, nr = int(n_left[best]), int(n_right[best])
+    return CandidateSplit(
+        column=hist.column,
+        kind=ColumnKind.NUMERIC,
+        score=float(scores[best]),
+        n_left=nl + (n_missing if nl >= nr else 0),
+        n_right=nr + (0 if nl >= nr else n_missing),
+        threshold=float(thresholds[best]),
+        n_missing=n_missing,
+        missing_to_left=nl >= nr,
+    )
+
+
+def best_binned_numeric_split(
+    column: int,
+    bins: np.ndarray,
+    thresholds: np.ndarray,
+    y: np.ndarray,
+    criterion: Impurity,
+    n_classes: int,
+) -> CandidateSplit | None:
+    """Best candidate threshold from a node's pre-binned values.
+
+    Convenience composition of :func:`column_histogram` and
+    :func:`score_histogram` — the scalar builder's hist split search, and
+    the promoted replacement of the ``baselines.histogram`` prototype.
+    ``bins`` must be the **node's own rows'** codes; whole-table bins
+    handed as a slice are fine (the slice is node-local), but statistics
+    are always derived from exactly what is passed in.
+    """
+    present = bins >= 0
+    if int(present.sum()) < 2 or thresholds.size == 0:
+        return None
+    hist = column_histogram(
+        column, bins, y, len(thresholds) + 1, criterion, n_classes
+    )
+    return score_histogram(hist, thresholds, criterion)
+
+
+# ----------------------------------------------------------------------
+# the threshold book: computed once, shipped everywhere
+# ----------------------------------------------------------------------
+def column_thresholds(table, max_bins: int) -> dict[int, np.ndarray]:
+    """Equi-depth thresholds of every numeric column of a table."""
+    out: dict[int, np.ndarray] = {}
+    for idx, spec in enumerate(table.schema.columns):
+        if spec.kind is ColumnKind.NUMERIC:
+            out[idx] = equi_depth_thresholds(table.column(idx), max_bins)
+    return out
+
+
+def hist_bin_counts(jobs) -> tuple[int, ...]:
+    """Distinct ``max_bins`` values across all hist-mode trees of jobs."""
+    bins = {
+        tree.config.max_bins
+        for job in jobs
+        for stage in job.stages
+        for tree in stage.trees
+        if hist_active(tree.config)
+    }
+    return tuple(sorted(bins))
+
+
+def build_threshold_book(table, jobs) -> ThresholdBook:
+    """The threshold book for a run: empty when no job trains hist-mode."""
+    return {mb: column_thresholds(table, mb) for mb in hist_bin_counts(jobs)}
+
+
+def book_for_config(
+    book: ThresholdBook | None, config
+) -> dict[int, np.ndarray] | None:
+    """This config's per-column thresholds, or ``None`` outside hist mode."""
+    if not hist_active(config):
+        return None
+    thresholds = (book or {}).get(config.max_bins)
+    if thresholds is None:
+        raise RuntimeError(
+            f"no thresholds for max_bins={config.max_bins} in the shipped "
+            f"book (present: {sorted(book or {})}); the driver must build "
+            f"the book from the submitted jobs before dispatch"
+        )
+    return thresholds
+
+
+def book_to_wire(book: ThresholdBook) -> dict:
+    """JSON-able form of a threshold book (socket rendezvous welcome).
+
+    Control frames are JSON, never pickle; Python's ``repr``-based float
+    serialization round-trips every float64 exactly, so the decoded book
+    is bit-identical on the worker side.
+    """
+    return {
+        str(mb): {
+            str(col): [float(v) for v in arr] for col, arr in cols.items()
+        }
+        for mb, cols in book.items()
+    }
+
+
+def book_from_wire(wire: dict) -> ThresholdBook:
+    """Decode :func:`book_to_wire` back into numpy-array form."""
+    return {
+        int(mb): {
+            int(col): np.asarray(vals, dtype=np.float64)
+            for col, vals in cols.items()
+        }
+        for mb, cols in wire.items()
+    }

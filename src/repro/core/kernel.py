@@ -72,6 +72,7 @@ from .builder import (
     split_is_useful,
 )
 from .config import TREE_KERNELS, TreeConfig, TreeKind
+from .histogram import bin_indices
 from .impurity import (
     Impurity,
     classification_impurity_rows,
@@ -100,6 +101,9 @@ ENV_KERNEL = "REPRO_KERNEL"
 #: is 0 (pure breadth-first) and the depth-next switch is an escape
 #: hatch for stacks where small-slice batching is comparatively slower.
 DEPTH_NEXT_CUTOFF = 0
+
+#: Empty threshold set: a degenerate hist-mode column offers no candidates.
+_NO_THRESHOLDS = np.empty(0)
 
 
 @dataclass
@@ -138,6 +142,7 @@ def build_subtree_auto(
     candidate_columns: tuple[int, ...] | None = None,
     root_path: int = 1,
     counters: KernelCounters | None = None,
+    thresholds: dict[int, np.ndarray] | None = None,
 ) -> TreeNode:
     """Build a subtree with the kernel ``config.kernel`` selects.
 
@@ -145,6 +150,8 @@ def build_subtree_auto(
     actors of all runtime backends, the serial :func:`~repro.core.
     builder.train_tree` path, and through it the deep-forest local
     backend.  ``counters``, when given, accumulates build/gather seconds.
+    ``thresholds`` (hist mode) restricts numeric split search to the
+    global equi-depth candidate cuts on both kernels.
     """
     kernel = resolve_kernel(config)
     start = time.perf_counter()
@@ -156,6 +163,7 @@ def build_subtree_auto(
             candidate_columns=candidate_columns,
             root_path=root_path,
             counters=counters,
+            thresholds=thresholds,
         )
     else:
         root = build_subtree(
@@ -164,6 +172,7 @@ def build_subtree_auto(
             row_ids,
             candidate_columns=candidate_columns,
             root_path=root_path,
+            thresholds=thresholds,
         )
     if counters is not None:
         counters.kernel = kernel
@@ -487,6 +496,156 @@ def _batched_numeric_regression(
     return entry
 
 
+class _BinnedNumericEntry:
+    """Batched histogram-mode results of one numeric column over a level.
+
+    The hist-mode sibling of :class:`_BatchedNumericEntry`: instead of a
+    winning sort boundary it records the winning prefix-cut index into the
+    column's global equi-depth thresholds, plus the per-(segment, cut)
+    child-count matrices needed to materialize a :class:`CandidateSplit`
+    identical to the scalar :func:`~repro.core.histogram.score_histogram`.
+    """
+
+    __slots__ = (
+        "column",
+        "thresholds",
+        "seg_scores",
+        "best_cut",
+        "n_left",
+        "n_right",
+        "n_missing",
+    )
+
+    def __init__(
+        self, column: int, thresholds: np.ndarray, n_segments: int
+    ) -> None:
+        self.column = column
+        self.thresholds = thresholds
+        self.seg_scores = np.full(n_segments, np.inf)
+        self.best_cut = np.full(n_segments, -1, dtype=np.int64)
+        self.n_left: np.ndarray | None = None
+        self.n_right: np.ndarray | None = None
+        self.n_missing = np.zeros(n_segments, dtype=np.int64)
+
+    def key_for(self, segment: int) -> tuple[float, int] | None:
+        if self.best_cut[segment] < 0:
+            return None
+        return (float(self.seg_scores[segment]), self.column)
+
+    def split_for(self, segment: int) -> CandidateSplit | None:
+        b = int(self.best_cut[segment])
+        if b < 0:
+            return None
+        nl = int(self.n_left[segment, b])
+        nr = int(self.n_right[segment, b])
+        nm = int(self.n_missing[segment])
+        # Identical construction to score_histogram: missing rows join the
+        # larger child, threshold is the winning bin's upper edge.
+        return CandidateSplit(
+            column=self.column,
+            kind=ColumnKind.NUMERIC,
+            score=float(self.seg_scores[segment]),
+            n_left=nl + (nm if nl >= nr else 0),
+            n_right=nr + (0 if nl >= nr else nm),
+            threshold=float(self.thresholds[b]),
+            n_missing=nm,
+            missing_to_left=nl >= nr,
+        )
+
+
+def _batched_binned_numeric(
+    column: int,
+    values: np.ndarray,
+    y_or_codes: np.ndarray,
+    seg: np.ndarray,
+    n_segments: int,
+    thresholds: np.ndarray,
+    criterion: Impurity,
+    n_classes: int,
+) -> _BinnedNumericEntry:
+    """Histogram split search (ordinal attribute) over a whole frontier.
+
+    The batched twin of :func:`~repro.core.histogram.score_histogram`:
+    one composite ``bincount`` builds every segment's per-bin statistics
+    (statistics stay node-local — each segment's bins count only its own
+    rows, including its own missing-row total), then the axis-wise
+    cumulative sums and impurity evaluations perform the same additions
+    in the same order per segment lane as the scalar per-node scan, so
+    every score and winning cut is bit-identical.  Segments with no valid
+    cut (fewer than two present rows, constant within a bin span, or an
+    empty threshold set) end with ``best_cut == -1``, exactly where the
+    scalar path returns ``None``.
+    """
+    entry = _BinnedNumericEntry(column, thresholds, n_segments)
+    if thresholds.size == 0:
+        return entry
+    codes = bin_indices(values, thresholds)
+    present = codes >= 0
+    if present.all():
+        sp = seg
+        yp = y_or_codes
+    else:
+        entry.n_missing = np.bincount(seg[~present], minlength=n_segments)
+        codes = codes[present]
+        sp = seg[present]
+        yp = y_or_codes[present]
+    n_bins = thresholds.size + 1
+    cuts = n_bins - 1
+    if criterion.is_classification:
+        stats = np.bincount(
+            (sp * n_bins + codes) * n_classes + yp,
+            minlength=n_segments * n_bins * n_classes,
+        ).reshape(n_segments, n_bins, n_classes).astype(np.float64)
+        cum = np.cumsum(stats, axis=1)[:, :-1, :]
+        total = stats.sum(axis=1)
+        n_left = cum.sum(axis=2)
+        n_right = total.sum(axis=1)[:, None] - n_left
+        left_imp = classification_impurity_rows(
+            cum.reshape(-1, n_classes), criterion
+        ).reshape(n_segments, cuts)
+        right_imp = classification_impurity_rows(
+            (total[:, None, :] - cum).reshape(-1, n_classes), criterion
+        ).reshape(n_segments, cuts)
+    else:
+        flat = sp * n_bins + codes
+        size = n_segments * n_bins
+        bin_counts = (
+            np.bincount(flat, minlength=size)
+            .reshape(n_segments, n_bins)
+            .astype(np.float64)
+        )
+        y_sum = np.bincount(flat, weights=yp, minlength=size).reshape(
+            n_segments, n_bins
+        )
+        y_sq = np.bincount(flat, weights=yp * yp, minlength=size).reshape(
+            n_segments, n_bins
+        )
+        c_cum = np.cumsum(bin_counts, axis=1)[:, :-1]
+        s_cum = np.cumsum(y_sum, axis=1)[:, :-1]
+        q_cum = np.cumsum(y_sq, axis=1)[:, :-1]
+        n_left = c_cum
+        n_right = bin_counts.sum(axis=1)[:, None] - c_cum
+        left_imp = variance_rows(c_cum, s_cum, q_cum)
+        right_imp = variance_rows(
+            n_right,
+            y_sum.sum(axis=1)[:, None] - s_cum,
+            y_sq.sum(axis=1)[:, None] - q_cum,
+        )
+    valid = (n_left > 0) & (n_right > 0)
+    scores = np.where(
+        valid,
+        weighted_children_impurity(left_imp, n_left, right_imp, n_right),
+        np.inf,
+    )
+    best = np.argmin(scores, axis=1)  # first minimum == smallest threshold
+    has = valid.any(axis=1)
+    entry.best_cut[has] = best[has]
+    entry.seg_scores[has] = scores[np.arange(n_segments), best][has]
+    entry.n_left = n_left
+    entry.n_right = n_right
+    return entry
+
+
 def build_subtree_vectorized(
     table: DataTable,
     config: TreeConfig,
@@ -495,6 +654,7 @@ def build_subtree_vectorized(
     root_path: int = 1,
     counters: KernelCounters | None = None,
     small_node_cutoff: int = DEPTH_NEXT_CUTOFF,
+    thresholds: dict[int, np.ndarray] | None = None,
 ) -> TreeNode:
     """Build ``Delta_x`` level-synchronously; bit-identical to the scalar
     :func:`~repro.core.builder.build_subtree`.
@@ -530,7 +690,12 @@ def build_subtree_vectorized(
                 # Depth-next: the scalar builder finishes small subtrees.
                 attach_node(
                     build_subtree(
-                        table, config, ids, candidate_columns, root_path=path
+                        table,
+                        config,
+                        ids,
+                        candidate_columns,
+                        root_path=path,
+                        thresholds=thresholds,
                     ),
                     attach,
                 )
@@ -671,7 +836,20 @@ def build_subtree_vectorized(
             v = table.column(col)[act_rows]
             gather_s += time.perf_counter() - tick
             column_cache[col] = v
-            if spec.kind is ColumnKind.NUMERIC and criterion.is_classification:
+            if spec.kind is ColumnKind.NUMERIC and thresholds is not None:
+                entries.append(
+                    _batched_binned_numeric(
+                        col,
+                        v,
+                        y_codes_act if criterion.is_classification else y_act,
+                        seg_act,
+                        a,
+                        thresholds.get(col, _NO_THRESHOLDS),
+                        criterion,
+                        n_classes,
+                    )
+                )
+            elif spec.kind is ColumnKind.NUMERIC and criterion.is_classification:
                 entries.append(
                     _batched_numeric_classification(
                         col, v, y_codes_act, seg_act, a, act_sizes,

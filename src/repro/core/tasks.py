@@ -57,8 +57,10 @@ MSG_WORKER_WELCOME = "worker_welcome"
 
 #: Wire version of the socket handshake.  A master rejects a hello whose
 #: version differs — both sides must run the same protocol revision to
-#: guarantee bit-identical training.
-SOCKET_PROTOCOL_VERSION = 1
+#: guarantee bit-identical training.  v2 added histogram split mode: the
+#: welcome ships the equi-depth threshold book and column results may
+#: carry per-bin summaries instead of exact splits.
+SOCKET_PROTOCOL_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -211,12 +213,21 @@ class SubtreePlanMsg:
 
 @dataclass
 class ColumnResultMsg:
-    """Worker -> master: per-column best splits plus node label stats."""
+    """Worker -> master: per-column best splits plus node label stats.
+
+    In hist mode (``TreeConfig.split_mode="hist"``) numeric decision-tree
+    columns ship a :class:`~repro.core.histogram.ColumnHistogram` in
+    ``hists`` — O(bins) per-bin statistics the master scores itself —
+    with a ``None`` placeholder in ``splits``; categorical columns keep
+    shipping exact splits either way.  ``hists`` is ``None`` in exact
+    mode (and for old pickles), keeping the wire form unchanged there.
+    """
 
     task: TaskId
     worker: int
     splits: list[CandidateSplit | None]
     stats: NodeStatsPayload
+    hists: list | None = None
 
 
 @dataclass
@@ -495,7 +506,12 @@ class WorkerWelcomeMsg:
     held columns, the host map of every peer (for the shm-peer rule),
     the run's shm prefix (``None`` when the data plane is disabled or
     the worker is on a different host than the master's table image),
-    the transport knobs, and the cost model.
+    the transport knobs, and the cost model.  ``threshold_book`` is the
+    run's equi-depth threshold book (``{max_bins: {column:
+    thresholds}}``, see :mod:`repro.core.histogram`) when any submitted
+    job trains with ``split_mode="hist"`` — computed once by the master
+    so every machine bins against identical global thresholds; ``None``
+    when all jobs are exact.
     """
 
     ok: bool
@@ -508,6 +524,7 @@ class WorkerWelcomeMsg:
     coalesce_max_messages: int = 32
     poll_interval_seconds: float = 0.05
     cost: object | None = None
+    threshold_book: dict | None = None
 
 
 @dataclass

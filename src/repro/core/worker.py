@@ -32,6 +32,14 @@ from ..data.shm import ShmArena, ShmSlice
 from ..data.table import DataTable
 from .builder import extra_tree_split_rng
 from .config import TreeKind
+from .histogram import (
+    ColumnHistogram,
+    bin_indices,
+    book_for_config,
+    column_histogram,
+    decode_bin_codes,
+    encode_bin_codes,
+)
 from .kernel import KernelCounters, build_subtree_auto
 from .splits import (
     CandidateSplit,
@@ -72,6 +80,11 @@ from .tree import node_to_dict
 
 class ProtocolError(RuntimeError):
     """A message arrived that the protocol forbids in the current state."""
+
+
+#: Empty threshold set — degenerate columns bin into one bucket and offer
+#: no split candidates (the guard the hist scorers honour).
+_NO_THRESHOLDS = np.empty(0)
 
 
 @dataclass
@@ -136,12 +149,18 @@ class WorkerActor:
         arena: ShmArena | None = None,
         shm_threshold_bytes: int = 8192,
         shm_peers: set[int] | None = None,
+        threshold_book: dict | None = None,
     ) -> None:
         self.cluster = cluster
         self.worker_id = worker_id
         self.table = table
         self.held_columns = set(held_columns)
         self.master_id = master_id
+        #: Equi-depth threshold book for hist-mode jobs (``{max_bins:
+        #: {column: thresholds}}``), computed once by the driver from the
+        #: full table so every machine bins identically; ``None``/empty
+        #: when every submitted job trains exact.
+        self.threshold_book = threshold_book
         #: Shared-memory row-id arena (multiprocess backend only).  When
         #: set, row-id sets of at least ``shm_threshold_bytes`` travel as
         #: :class:`ShmSlice` descriptors instead of pickled arrays.
@@ -285,7 +304,11 @@ class WorkerActor:
         criterion = plan.ctx.config.resolved_criterion(
             self.table.problem is ProblemKind.CLASSIFICATION
         )
+        thresholds = book_for_config(self.threshold_book, plan.ctx.config)
         splits: list[CandidateSplit | None] = []
+        hists: list[ColumnHistogram] | None = (
+            [] if thresholds is not None else None
+        )
         for col in plan.columns:
             spec = self.table.column_spec(col)
             values = self.column_values(col)[ids]
@@ -300,6 +323,22 @@ class WorkerActor:
                     extra_tree_split_rng(plan.ctx.config.seed, plan.task[1], col),
                     spec.n_categories,
                 )
+            elif thresholds is not None and spec.kind is ColumnKind.NUMERIC:
+                # Hist mode: ship the node-local per-bin summary instead
+                # of an exact split; the master scores the prefix cuts.
+                col_thresholds = thresholds.get(col, _NO_THRESHOLDS)
+                hists.append(
+                    column_histogram(
+                        col,
+                        bin_indices(values, col_thresholds),
+                        y,
+                        col_thresholds.size + 1,
+                        criterion,
+                        self.table.n_classes,
+                    )
+                )
+                splits.append(None)
+                continue
             else:
                 split = best_split_for_column(
                     col,
@@ -316,13 +355,17 @@ class WorkerActor:
             worker=self.worker_id,
             splits=splits,
             stats=self._stats_of(ids),
+            hists=hists,
         )
-        self._send(
-            self.master_id,
-            MSG_COLUMN_RESULT,
-            result,
-            self.cost.column_result_bytes(len(plan.columns)),
-        )
+        size = self.cost.column_result_bytes(len(plan.columns))
+        if hists:
+            # Per-bin statistics ride along: O(bins) values per column.
+            entries = sum(
+                h.counts.size if h.counts is not None else 3 * h.bin_counts.size
+                for h in hists
+            )
+            size += entries * self.cost.value_bytes
+        self._send(self.master_id, MSG_COLUMN_RESULT, result, size)
         # I_x is retained: if this worker becomes the delegate it will
         # partition it; otherwise a task_delete will free it.
 
@@ -532,11 +575,20 @@ class WorkerActor:
         # columns outside the candidate set are filled with missing values
         # and are never consulted by the builder.
         n = int(ids.size)
+        thresholds = book_for_config(self.threshold_book, plan.ctx.config)
         columns: list[np.ndarray] = []
         needed = set(plan.local_columns) | set(state.column_data)
         for idx, spec in enumerate(self.table.schema.columns):
             if idx in state.column_data:
-                columns.append(state.column_data[idx])
+                arr = state.column_data[idx]
+                if thresholds is not None and spec.kind is ColumnKind.NUMERIC:
+                    # Fetched hist-mode columns arrived as bucket codes;
+                    # decode into pseudo-values that rebin and route
+                    # exactly like the originals.
+                    arr = decode_bin_codes(
+                        arr, thresholds.get(idx, _NO_THRESHOLDS)
+                    )
+                columns.append(arr)
             elif idx in needed:
                 columns.append(self.column_values(idx)[ids])
             elif spec.kind is ColumnKind.NUMERIC:
@@ -551,6 +603,7 @@ class WorkerActor:
             candidate_columns=plan.ctx.candidate_columns,
             root_path=plan.task[1],
             counters=self.kernel_counters,
+            thresholds=thresholds,
         )
         n_nodes = root.count_nodes()
         self.kernel_counters.nodes_built += n_nodes
@@ -598,19 +651,31 @@ class WorkerActor:
             return
         msg = state.request
         ids = state.row_ids
-        arrays = [self.column_values(col)[ids] for col in msg.columns]
+        thresholds = book_for_config(self.threshold_book, msg.ctx.config)
+        if thresholds is None:
+            arrays = [self.column_values(col)[ids] for col in msg.columns]
+            size = self.cost.column_data_bytes(int(ids.size), len(msg.columns))
+        else:
+            # Hist mode: numeric columns ship as compact int8/int16 bucket
+            # codes (the key worker decodes them against the same book);
+            # categorical columns still ship raw values.
+            arrays = []
+            size = self.cost.control_bytes
+            for col in msg.columns:
+                values = self.column_values(col)[ids]
+                if self.table.column_spec(col).kind is ColumnKind.NUMERIC:
+                    values = encode_bin_codes(
+                        values, thresholds.get(col, _NO_THRESHOLDS)
+                    )
+                arrays.append(values)
+                size += int(values.nbytes)
         response = ColumnResponseMsg(
             task=task,
             server=self.worker_id,
             columns=msg.columns,
             arrays=arrays,
         )
-        self._send(
-            msg.key_worker,
-            MSG_COLUMN_RESPONSE,
-            response,
-            self.cost.column_data_bytes(int(ids.size), len(msg.columns)),
-        )
+        self._send(msg.key_worker, MSG_COLUMN_RESPONSE, response, size)
 
     # ------------------------------------------------------------------
     # shared row-response routing

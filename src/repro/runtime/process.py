@@ -79,6 +79,7 @@ from ..cluster.cost import CostModel
 from ..cluster.metrics import ClusterReport, MachineReport
 from ..cluster.network import Message
 from ..core.config import SystemConfig
+from ..core.histogram import build_threshold_book
 from ..core.jobs import TrainingJob
 from ..core.load_balance import assign_columns_to_workers
 from ..core.master import MasterActor, _TableInfo
@@ -259,7 +260,13 @@ def _worker_main(
 
     from collections import deque
 
-    (poll_seconds, shm_prefix, shm_threshold, coalesce_max) = options_tuple
+    (
+        poll_seconds,
+        shm_prefix,
+        shm_threshold,
+        coalesce_max,
+        threshold_book,
+    ) = options_tuple
 
     attached = None
     arena = None
@@ -281,6 +288,7 @@ def _worker_main(
             held_columns,
             arena=arena,
             shm_threshold_bytes=shm_threshold,
+            threshold_book=threshold_book,
         )
         machine = cluster.machines[worker_id]
         inbox = queues[worker_id]
@@ -380,6 +388,7 @@ class ProcessTransport:
         placement: dict[int, list[int]],
         cost: CostModel,
         options: RuntimeOptions,
+        threshold_book: dict | None = None,
     ) -> None:
         method = resolve_start_method(options.start_method)
         self._ctx = multiprocessing.get_context(method)
@@ -406,6 +415,7 @@ class ProcessTransport:
             self.shm_prefix,
             options.shm_threshold_bytes,
             options.coalesce_max_messages,
+            threshold_book,
         )
         crash = options.crash_worker_after
         raises = options.raise_worker_after
@@ -562,6 +572,7 @@ class ProcessRuntime(Runtime):
         self.options = options or RuntimeOptions()
         self._fault_policy = self.options.resolved_fault_policy(self.name)
         self._failures = 0
+        self._threshold_book: dict = {}
 
     def fit(self, table: DataTable, jobs: list[TrainingJob], **kwargs: Any):
         """Run the full protocol over real processes; see ``TreeServer.fit``."""
@@ -595,6 +606,11 @@ class ProcessRuntime(Runtime):
             list(range(1, self.system.n_workers + 1)),
             self.system.column_replication,
         )
+        # Hist-mode equi-depth thresholds: computed once on the driver,
+        # before any worker starts, and shipped to every worker (via the
+        # spawn args here; via the rendezvous welcome on the socket
+        # backend).  Empty when every job trains exact.
+        self._threshold_book = build_threshold_book(table, jobs)
         transport = self._make_transport(table, placement)
         try:
             report = self._drive(table, jobs, placement, transport, start)
@@ -607,7 +623,12 @@ class ProcessRuntime(Runtime):
     ) -> ProcessTransport:
         """Build the run's transport; the socket runtime overrides this."""
         return ProcessTransport(
-            self.system.n_workers, table, placement, self.cost, self.options
+            self.system.n_workers,
+            table,
+            placement,
+            self.cost,
+            self.options,
+            threshold_book=self._threshold_book,
         )
 
     # ------------------------------------------------------------------
@@ -630,7 +651,14 @@ class ProcessRuntime(Runtime):
             problem=table.problem,
             n_classes=table.n_classes,
         )
-        master = MasterActor(cluster, info, jobs, self.system, placement)
+        master = MasterActor(
+            cluster,
+            info,
+            jobs,
+            self.system,
+            placement,
+            threshold_book=self._threshold_book,
+        )
         master.start()
         cluster.engine.drain()
 

@@ -18,6 +18,7 @@ from ..cluster.cost import CostModel
 from ..cluster.faults import CrashPlan, FaultInjector
 from ..cluster.topology import SimulatedCluster
 from ..core.config import SystemConfig
+from ..core.histogram import build_threshold_book
 from ..core.jobs import TrainingJob
 from ..core.load_balance import assign_columns_to_workers
 from ..core.master import MasterActor, _TableInfo
@@ -90,10 +91,14 @@ class SimRuntime(Runtime):
         placement = assign_columns_to_workers(
             table.n_columns, worker_ids, self.system.column_replication
         )
+        # Hist-mode equi-depth thresholds: computed once, before any task,
+        # and shared by the master and every worker (empty when all jobs
+        # train exact).
+        book = build_threshold_book(table, jobs)
         workers: list[WorkerActor] = []
         for wid in worker_ids:
             held = {c for c, ws in placement.items() if wid in ws}
-            worker = WorkerActor(cluster, wid, table, held)
+            worker = WorkerActor(cluster, wid, table, held, threshold_book=book)
             cluster.register(wid, worker)
             workers.append(worker)
 
@@ -107,7 +112,13 @@ class SimRuntime(Runtime):
         if secondary_master:
             secondary_id = self.system.n_workers + 1
             secondary = SecondaryMasterActor(
-                cluster, secondary_id, info, jobs, self.system, placement
+                cluster,
+                secondary_id,
+                info,
+                jobs,
+                self.system,
+                placement,
+                threshold_book=book,
             )
             cluster.register(secondary_id, secondary)
         master = MasterActor(
@@ -117,6 +128,7 @@ class SimRuntime(Runtime):
             self.system,
             placement,
             secondary_id=(secondary.machine_id if secondary else None),
+            threshold_book=book,
         )
         cluster.register(cluster.MASTER, master)
 

@@ -90,6 +90,7 @@ import multiprocessing
 
 from ..cluster.cost import CostModel
 from ..cluster.network import Message
+from ..core.histogram import book_from_wire, book_to_wire
 from ..core.tasks import (
     MSG_WORKER_ERROR,
     MSG_WORKER_STATS,
@@ -347,6 +348,10 @@ def _decode_ctrl(payload: bytes, expected: type) -> Any:
             }
             if body["cost"] is not None:
                 body["cost"] = CostModel(**body["cost"])
+            if body.get("threshold_book") is not None:
+                body["threshold_book"] = book_from_wire(
+                    body["threshold_book"]
+                )
         return expected(**body)
     except Exception:
         return None
@@ -510,6 +515,7 @@ def _run_socket_worker(
             arena=arena,
             shm_threshold_bytes=welcome.shm_threshold_bytes,
             shm_peers=shm_peers,
+            threshold_book=welcome.threshold_book,
         )
         machine = cluster.machines[worker_id]
         pending: deque[Message] = deque()
@@ -779,9 +785,13 @@ class SocketTransport:
         placement: dict[int, list[int]],
         cost: CostModel,
         options: RuntimeOptions,
+        threshold_book: dict | None = None,
     ) -> None:
         self.n_workers = n_workers
         self.options = options
+        # Hist-mode equi-depth thresholds, shipped to every worker inside
+        # the rendezvous welcome (JSON wire form; empty when all exact).
+        self.threshold_book = threshold_book or {}
         self.host_id = _default_host_id()
         self.table_hash = table_fingerprint(table)
         self.shm_prefix: str | None = None
@@ -988,6 +998,7 @@ class SocketTransport:
                     coalesce_max_messages=self.options.coalesce_max_messages,
                     poll_interval_seconds=self.options.poll_interval_seconds,
                     cost=cost,
+                    threshold_book=book_to_wire(self.threshold_book),
                 ),
             )
             self._conns[wid] = stream
@@ -1241,5 +1252,10 @@ class SocketRuntime(ProcessRuntime):
         self, table: DataTable, placement: dict[int, list[int]]
     ) -> SocketTransport:
         return SocketTransport(
-            self.system.n_workers, table, placement, self.cost, self.options
+            self.system.n_workers,
+            table,
+            placement,
+            self.cost,
+            self.options,
+            threshold_book=self._threshold_book,
         )

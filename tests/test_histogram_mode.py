@@ -1,0 +1,448 @@
+"""Histogram split mode (``split_mode="hist"``): the promoted core path.
+
+Pins the three guarantees of the equi-depth machinery promoted from
+``repro.baselines.histogram`` into ``repro.core.histogram``:
+
+* **Exact-collapse parity** — columns with at most ``max_bins`` distinct
+  present values use their exact distinct values as thresholds, so hist
+  mode reproduces the exact-mode tree bit-for-bit on such tables (the
+  quantile-only prototype skipped distinct values on skewed data), with
+  the exact scan's tie rules (first-minimum threshold within a column,
+  lower column index across columns).
+* **Node-local accounting** — every histogram statistic, including the
+  missing-row count, comes from the node's own rows, so the delegate
+  invariant ``|I_xl| + |I_xr| = |I_x|`` holds at every node.
+* **Degenerate-column guards** — constant, all-NaN and quantile-collapsed
+  columns yield an empty threshold set and a clean "no split", never an
+  empty argmin or an IndexError, in the scalar and vectorized kernels.
+
+Plus the distributed story: sim/mp/socket train hist-mode forests
+bit-identical to the serial hist builder (shm on and off), and on the
+socket backend with inline rows the hist data plane moves strictly fewer
+pickled bytes per worker than exact mode on the same job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SystemConfig, TreeConfig, TreeServer, trees_equal
+from repro.core.builder import train_tree
+from repro.core.config import SPLIT_MODES
+from repro.core.histogram import (
+    best_binned_numeric_split,
+    bin_indices,
+    decode_bin_codes,
+    encode_bin_codes,
+    equi_depth_thresholds,
+)
+from repro.core.jobs import decision_tree_job, random_forest_job
+from repro.data import ColumnKind, ColumnSpec, DataTable, ProblemKind, TableSchema
+from repro.datasets import SyntheticSpec, generate
+from repro.runtime import RuntimeOptions
+
+CLF_CRITERION = TreeConfig().resolved_criterion(True)
+REG_CRITERION = TreeConfig().resolved_criterion(False)
+
+
+def _hist(config: TreeConfig, max_bins: int = 32) -> TreeConfig:
+    from dataclasses import replace
+
+    return replace(config, split_mode="hist", max_bins=max_bins)
+
+
+def _numeric_table(
+    columns: dict[str, np.ndarray], y: np.ndarray, problem=ProblemKind.CLASSIFICATION
+) -> DataTable:
+    specs = tuple(ColumnSpec(name, ColumnKind.NUMERIC) for name in columns)
+    target = (
+        ColumnSpec("y", ColumnKind.CATEGORICAL, ("neg", "pos"))
+        if problem is ProblemKind.CLASSIFICATION
+        else ColumnSpec("y", ColumnKind.NUMERIC)
+    )
+    schema = TableSchema(columns=specs, target=target, problem=problem)
+    return DataTable(
+        schema=schema,
+        columns=[np.asarray(v, dtype=np.float64) for v in columns.values()],
+        target=np.asarray(y),
+    )
+
+
+# ----------------------------------------------------------------------
+# thresholds: exact collapse and degenerate guards
+# ----------------------------------------------------------------------
+class TestThresholds:
+    def test_exact_collapse_uses_distinct_values(self):
+        """<= max_bins distinct values -> thresholds are exactly the
+        distinct values (all but the largest), even on skewed data where
+        equi-depth quantile positions alone would skip values."""
+        skewed = np.array([1.0, 2.0, 3.0] + [4.0] * 100)
+        t = equi_depth_thresholds(skewed, max_bins=4)
+        np.testing.assert_array_equal(t, [1.0, 2.0, 3.0])
+        # The quantile positions all land on 4.0 here; without the
+        # collapse rule this column would offer no cut at all.
+        qs = np.quantile(skewed, np.linspace(0, 1, 5)[1:-1], method="lower")
+        assert set(qs) == {4.0}
+
+    def test_high_cardinality_caps_thresholds(self):
+        values = np.arange(1000, dtype=np.float64)
+        t = equi_depth_thresholds(values, max_bins=8)
+        assert 0 < t.size <= 7
+        assert np.all(np.diff(t) > 0)
+        assert t.max() < values.max()
+
+    def test_max_bins_validation(self):
+        with pytest.raises(ValueError):
+            equi_depth_thresholds(np.arange(10.0), max_bins=1)
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            np.full(50, 3.25),  # constant
+            np.full(50, np.nan),  # all missing
+            np.array([np.nan] * 30 + [7.0] * 20),  # constant-present
+        ],
+        ids=["constant", "all-nan", "constant-with-missing"],
+    )
+    def test_degenerate_columns_offer_no_split(self, values):
+        t = equi_depth_thresholds(values, max_bins=8)
+        assert t.size == 0
+        bins = bin_indices(values, t)
+        assert set(np.unique(bins)) <= {-1, 0}
+        y = (np.arange(values.size) % 2).astype(np.float64)
+        for criterion in (CLF_CRITERION, REG_CRITERION):
+            assert (
+                best_binned_numeric_split(0, bins, t, y, criterion, 2) is None
+            )
+
+    def test_quantile_collapse_onto_maximum(self):
+        """A heavy upper atom can collapse every quantile onto the max;
+        the guard drops those thresholds instead of producing a cut that
+        sends all rows left."""
+        values = np.array(list(np.linspace(0, 1, 20)) + [5.0] * 500)
+        t = equi_depth_thresholds(values, max_bins=3)
+        assert np.all(t < 5.0)
+
+    @pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
+    def test_degenerate_columns_train_cleanly(self, kernel):
+        """A table whose numeric columns are constant / all-NaN trains to
+        a usable tree (splitting on the remaining real column) in both
+        kernels, hist and exact."""
+        rng = np.random.default_rng(5)
+        signal = rng.integers(0, 6, size=120).astype(np.float64)
+        table = _numeric_table(
+            {
+                "const": np.full(120, 2.0),
+                "nan": np.full(120, np.nan),
+                "signal": signal,
+            },
+            (signal > 2.5).astype(np.float64),
+        )
+        cfg = TreeConfig(seed=1, kernel=kernel, max_depth=4)
+        exact = train_tree(table, cfg)
+        hist = train_tree(table, _hist(cfg, max_bins=8))
+        assert exact.root.split is not None
+        assert exact.root.split.column == 2
+        assert trees_equal(exact, hist)  # signal column collapses exactly
+
+
+# ----------------------------------------------------------------------
+# bucket codes: the subtree-task data plane
+# ----------------------------------------------------------------------
+class TestBinCodes:
+    def test_codes_are_compact_and_route_identically(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=500)
+        values[rng.random(500) < 0.1] = np.nan
+        t = equi_depth_thresholds(values, max_bins=16)
+        codes = encode_bin_codes(values, t)
+        assert codes.dtype == np.int8  # <= 127 thresholds
+        pseudo = decode_bin_codes(codes, t)
+        # Pseudo-values rebin identically...
+        np.testing.assert_array_equal(
+            bin_indices(pseudo, t), bin_indices(values, t)
+        )
+        # ...and answer every candidate-threshold comparison identically.
+        present = ~np.isnan(values)
+        for cut in t:
+            np.testing.assert_array_equal(
+                pseudo[present] <= cut, values[present] <= cut
+            )
+        assert np.all(np.isnan(pseudo[~present]))
+
+    def test_wide_books_use_wider_dtypes(self):
+        values = np.arange(500.0)
+        t = equi_depth_thresholds(values, max_bins=300)
+        assert encode_bin_codes(values, t).dtype == np.int16
+
+
+# ----------------------------------------------------------------------
+# exact-collapse parity and tie rules
+# ----------------------------------------------------------------------
+class TestExactCollapseParity:
+    @pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("problem", ["clf", "reg"])
+    def test_low_cardinality_table_is_bit_identical(self, kernel, problem):
+        """Every column has <= max_bins distinct values -> the hist tree
+        equals the exact tree bit-for-bit, kernels and problems alike."""
+        spec = SyntheticSpec(
+            "lowcard",
+            400,
+            5,
+            2,
+            problem=(
+                ProblemKind.CLASSIFICATION
+                if problem == "clf"
+                else ProblemKind.REGRESSION
+            ),
+            missing_rate=0.05,
+            seed=13,
+        )
+        table = generate(spec)
+        # Quantize numeric columns to few distinct values.
+        for idx, cspec in enumerate(table.schema.columns):
+            if cspec.kind is ColumnKind.NUMERIC:
+                col = table.columns[idx]
+                present = ~np.isnan(col)
+                col[present] = np.round(col[present] * 2.0) / 2.0
+        if problem == "reg":
+            # Bit-identical scores need order-independent label sums: the
+            # exact scan accumulates row by row, the histogram per bin
+            # then per cut.  Integer-valued labels make every partial sum
+            # exact in float64, so association cannot change a score.
+            table.target[:] = np.round(table.target)
+        cfg = TreeConfig(seed=3, kernel=kernel)
+        exact = train_tree(table, cfg)
+        for max_bins in (64, 4096):
+            hist = train_tree(table, _hist(cfg, max_bins=max_bins))
+            assert trees_equal(exact, hist)
+            assert exact.to_dict() == hist.to_dict()
+
+    @pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
+    def test_skewed_distinct_values_survive_collapse(self, kernel):
+        """The satellite bugfix: on skewed columns the quantile positions
+        miss low-frequency distinct values; the collapse rule keeps them,
+        so the hist tree still finds the minority cut."""
+        rng = np.random.default_rng(11)
+        col = np.array([0.0, 1.0, 2.0] * 5 + [9.0] * 285)
+        rng.shuffle(col)
+        y = (col < 1.5).astype(np.float64)
+        noise = rng.normal(size=col.size)
+        table = _numeric_table({"skew": col, "noise": noise}, y)
+        cfg = TreeConfig(seed=2, kernel=kernel, max_depth=4)
+        exact = train_tree(table, cfg)
+        hist = train_tree(table, _hist(cfg, max_bins=8))
+        assert trees_equal(exact, hist)
+        assert hist.root.split is not None and hist.root.split.column == 0
+
+    @pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
+    def test_cross_column_ties_pick_lower_column(self, kernel):
+        """Duplicated columns score identically at every node; the strict
+        ``(score, column)`` rule must route every split to the copy with
+        the lower index — in hist mode exactly as in exact mode."""
+        rng = np.random.default_rng(7)
+        base = rng.normal(size=300)
+        y = (base + 0.3 * rng.normal(size=300) > 0).astype(np.float64)
+        table = _numeric_table({"a": base, "b": base.copy()}, y)
+        cfg = _hist(TreeConfig(seed=1, kernel=kernel, max_depth=5), 16)
+        tree = train_tree(table, cfg)
+
+        def walk(node):
+            if node is None:
+                return
+            if node.split is not None:
+                assert node.split.column == 0
+            walk(node.left)
+            walk(node.right)
+
+        assert tree.root.split is not None
+        walk(tree.root)
+
+
+# ----------------------------------------------------------------------
+# node-local missing-row accounting
+# ----------------------------------------------------------------------
+class TestNodeLocalMissing:
+    def test_statistics_come_from_the_nodes_own_rows(self):
+        """Whole-table missing counts would break the delegate invariant:
+        a node whose rows have no NaN must report ``n_missing == 0`` and
+        children that partition exactly its rows, even when the rest of
+        the table is full of NaNs in that column."""
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=200)
+        values[:80] = np.nan  # all misses outside the node
+        y = (rng.random(200) > 0.5).astype(np.float64)
+        thresholds = equi_depth_thresholds(values, 8)
+        codes = bin_indices(values, thresholds)
+        node_rows = np.arange(80, 200)
+        split = best_binned_numeric_split(
+            0, codes[node_rows], thresholds, y[node_rows], CLF_CRITERION, 2
+        )
+        assert split is not None
+        assert split.n_missing == 0
+        assert split.n_left + split.n_right == node_rows.size
+
+        # And a node that does hold NaNs counts exactly its own.
+        mixed_rows = np.arange(60, 200)  # 20 NaN rows inside
+        split = best_binned_numeric_split(
+            0, codes[mixed_rows], thresholds, y[mixed_rows], CLF_CRITERION, 2
+        )
+        assert split is not None
+        assert split.n_missing == 20
+        assert split.n_left + split.n_right == mixed_rows.size
+
+    def test_distributed_column_tasks_preserve_the_invariant(self):
+        """Forcing column-tasks at every node (tiny tau) runs the
+        master-side ``|I_xl| + |I_xr| = |I_x|`` assertion against every
+        shipped histogram; the result must equal the serial hist tree."""
+        table = generate(
+            SyntheticSpec("m", 300, 6, 1, missing_rate=0.15, seed=21)
+        )
+        cfg = _hist(TreeConfig(seed=4, max_depth=6), 8)
+        serial = train_tree(table, cfg)
+        system = SystemConfig(
+            n_workers=3, compers_per_worker=2, tau_subtree=8, tau_dfs=8
+        )
+        report = TreeServer(system).fit(table, [decision_tree_job("dt", cfg)])
+        assert trees_equal(serial, report.tree("dt"))
+
+
+# ----------------------------------------------------------------------
+# distributed determinism and the byte win
+# ----------------------------------------------------------------------
+class TestDistributedHist:
+    @pytest.mark.parametrize("backend", ["sim", "mp", "socket"])
+    @pytest.mark.parametrize("use_shm", [False, True])
+    def test_backends_match_serial_hist(self, backend, use_shm):
+        if backend == "sim" and use_shm:
+            pytest.skip("shm is a real-process data plane")
+        table = generate(
+            SyntheticSpec("d", 400, 6, 2, missing_rate=0.05, seed=17)
+        )
+        cfg = _hist(TreeConfig(seed=9, max_depth=6), 16)
+        job = random_forest_job("rf", 3, cfg, seed=9)
+        serial = [
+            train_tree(table, req.config, tree_id=i)
+            for i, req in enumerate(job.stages[0].trees)
+        ]
+        options = RuntimeOptions(
+            use_shm=use_shm,
+            message_timeout_seconds=15.0,
+            poll_interval_seconds=0.02,
+        )
+        report = TreeServer(
+            SystemConfig(n_workers=3, compers_per_worker=2).scaled_to(
+                table.n_rows
+            ),
+            backend=backend,
+            runtime_options=options,
+        ).fit(table, [job])
+        for a, b in zip(serial, report.models["rf"]):
+            assert trees_equal(a, b)
+            assert a.to_dict() == b.to_dict()
+
+    def test_hist_moves_fewer_bytes_than_exact_on_socket(self):
+        """The headline data-plane win: identical jobs, identical wide
+        numeric table, shm off (inline rows) — hist-mode workers pickle
+        strictly fewer bytes than exact-mode workers, because subtree
+        gathers ship int8 bucket codes instead of float64 columns.
+
+        Columns are quantized below ``max_bins`` so the trained trees —
+        and hence the subtree-*result* messages — are identical in both
+        modes (exact-collapse parity), isolating the data-plane
+        difference; every tree uses all columns, so every worker serves
+        column slices to the other key workers."""
+        rng = np.random.default_rng(31)
+        columns = {
+            f"c{i}": np.round(rng.normal(size=600) * 4.0) / 4.0
+            for i in range(12)
+        }
+        y = (columns["c0"] + columns["c1"] > 0).astype(np.float64)
+        table = _numeric_table(columns, y)
+        max_distinct = max(len(np.unique(c)) for c in columns.values())
+        system = SystemConfig(
+            n_workers=3,
+            compers_per_worker=2,
+            column_replication=1,
+            tau_subtree=100_000,  # gather-dominated: whole trees ship
+            tau_dfs=100_000,
+        )
+        options = RuntimeOptions(
+            use_shm=False,
+            message_timeout_seconds=15.0,
+            poll_interval_seconds=0.02,
+        )
+        cfg = TreeConfig(seed=6, max_depth=6)
+
+        def run(config):
+            jobs = [
+                decision_tree_job(f"dt{i}", config.with_seed(i))
+                for i in range(3)
+            ]
+            return TreeServer(
+                system, backend="socket", runtime_options=options
+            ).fit(table, jobs)
+
+        exact = run(cfg)
+        hist = run(_hist(cfg, max_distinct + 1))
+        for i in range(3):  # collapse parity: identical result messages
+            assert trees_equal(exact.tree(f"dt{i}"), hist.tree(f"dt{i}"))
+        exact_pw = exact.cluster.transport["per_worker"]
+        hist_pw = hist.cluster.transport["per_worker"]
+        assert set(exact_pw) == set(hist_pw)
+        for wid in exact_pw:
+            assert (
+                hist_pw[wid]["bytes_pickled"]
+                < exact_pw[wid]["bytes_pickled"]
+            ), f"worker {wid}: hist moved at least as many bytes as exact"
+
+
+# ----------------------------------------------------------------------
+# configuration validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_split_modes_constant(self):
+        assert SPLIT_MODES == ("exact", "hist")
+
+    def test_tree_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            TreeConfig(split_mode="approx")
+        with pytest.raises(ValueError):
+            TreeConfig(split_mode="hist", max_bins=1)
+        assert TreeConfig(split_mode="hist", max_bins=2).max_bins == 2
+
+    def test_runtime_options_reject_bad_values(self):
+        with pytest.raises(ValueError):
+            RuntimeOptions(split_mode="approx")
+        with pytest.raises(ValueError):
+            RuntimeOptions(max_bins=1)
+        assert RuntimeOptions(split_mode="hist", max_bins=8).max_bins == 8
+        assert RuntimeOptions().split_mode is None  # keep per-job configs
+
+    def test_runtime_options_override_applies_to_jobs(self):
+        table = generate(SyntheticSpec("v", 250, 5, 0, seed=2))
+        cfg = TreeConfig(seed=9, max_depth=5)
+        serial_hist = train_tree(table, _hist(cfg, 16))
+        report = TreeServer(
+            SystemConfig(n_workers=2, compers_per_worker=2).scaled_to(
+                table.n_rows
+            ),
+            runtime_options=RuntimeOptions(split_mode="hist", max_bins=16),
+        ).fit(table, [decision_tree_job("dt", cfg)])
+        assert trees_equal(serial_hist, report.tree("dt"))
+
+    def test_cli_rejects_bad_split_flags(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data.io import write_csv
+
+        table = generate(SyntheticSpec("c", 60, 3, 0, seed=1))
+        csv_path = tmp_path / "t.csv"
+        write_csv(table, csv_path)
+        base = [
+            "train", "--csv", str(csv_path), "--target", "label",
+            "--model-dir", str(tmp_path / "m"),
+        ]
+        with pytest.raises(SystemExit):
+            main(base + ["--split-mode", "approx"])
+        assert main(base + ["--max-bins", "1"]) == 2
